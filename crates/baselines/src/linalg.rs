@@ -1,0 +1,306 @@
+//! Minimal dense linear algebra: just enough for weighted polynomial least
+//! squares inside the regression-mixture EM baseline (Gaffney & Smyth [7]).
+//!
+//! Row-major matrices, Cholesky factorisation for the SPD normal equations,
+//! with a tiny ridge to keep ill-conditioned Vandermonde systems solvable.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a row-major slice.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// In-place element update.
+    #[inline]
+    pub fn add_to(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.add_to(i, j, a * other.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ·diag(w)·A` — the weighted normal-equations matrix, computed
+    /// without materialising `diag(w)`.
+    pub fn weighted_gram(&self, weights: &[f64]) -> Matrix {
+        assert_eq!(weights.len(), self.rows);
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let w = weights[r];
+            if w == 0.0 {
+                continue;
+            }
+            for i in 0..self.cols {
+                let wi = w * self.get(r, i);
+                for j in i..self.cols {
+                    out.add_to(i, j, wi * self.get(r, j));
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                let v = out.get(j, i);
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ·diag(w)·b` for a right-hand-side vector `b`.
+    pub fn weighted_rhs(&self, weights: &[f64], b: &[f64]) -> Vec<f64> {
+        assert_eq!(weights.len(), self.rows);
+        assert_eq!(b.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let wb = weights[r] * b[r];
+            if wb == 0.0 {
+                continue;
+            }
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += wb * self.get(r, c);
+            }
+        }
+        out
+    }
+}
+
+/// Solves the SPD system `A·x = b` by Cholesky factorisation, adding
+/// `ridge·I` for numerical stability. Returns `None` when the (ridged)
+/// matrix is still not positive definite.
+pub fn cholesky_solve(a: &Matrix, b: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    assert_eq!(a.rows, a.cols, "Cholesky needs a square matrix");
+    assert_eq!(b.len(), a.rows);
+    let n = a.rows;
+    // Factor L (lower triangular, row-major compact in a full matrix).
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j) + if i == j { ridge } else { 0.0 };
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Some(x)
+}
+
+/// Vandermonde design matrix for a degree-`degree` polynomial over the
+/// sample positions `ts`: row `i` is `[1, tᵢ, tᵢ², …]`.
+pub fn vandermonde(ts: &[f64], degree: usize) -> Matrix {
+    let mut m = Matrix::zeros(ts.len(), degree + 1);
+    for (i, &t) in ts.iter().enumerate() {
+        let mut pow = 1.0;
+        for j in 0..=degree {
+            m.set(i, j, pow);
+            pow *= t;
+        }
+    }
+    m
+}
+
+/// Evaluates the polynomial with coefficients `beta` (constant first) at `t`.
+pub fn eval_poly(beta: &[f64], t: f64) -> f64 {
+    let mut acc = 0.0;
+    let mut pow = 1.0;
+    for &b in beta {
+        acc += b * pow;
+        pow *= t;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_rows(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] → x = [1.75, 1.5].
+        let a = Matrix::from_rows(2, 2, &[4.0, 2.0, 2.0, 3.0]);
+        let x = cholesky_solve(&a, &[10.0, 8.0], 0.0).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // eigenvalue −1
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn ridge_rescues_singular_systems() {
+        let a = Matrix::from_rows(2, 2, &[1.0, 1.0, 1.0, 1.0]); // rank 1
+        assert!(cholesky_solve(&a, &[2.0, 2.0], 0.0).is_none());
+        let x = cholesky_solve(&a, &[2.0, 2.0], 1e-6).unwrap();
+        assert!((x[0] + x[1] - 2.0).abs() < 1e-3, "x sums to ≈2: {x:?}");
+    }
+
+    #[test]
+    fn weighted_gram_matches_explicit_product() {
+        let a = Matrix::from_rows(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = [0.5, 1.0, 2.0];
+        let gram = a.weighted_gram(&w);
+        // Explicit: Aᵀ W A.
+        let mut expected = Matrix::zeros(2, 2);
+        for r in 0..3 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    expected.add_to(i, j, w[r] * a.get(r, i) * a.get(r, j));
+                }
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((gram.get(i, j) - expected.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_least_squares_recovers_line() {
+        // y = 3 + 2t sampled exactly: WLS must recover (3, 2).
+        let ts: Vec<f64> = (0..10).map(|i| i as f64 / 9.0).collect();
+        let ys: Vec<f64> = ts.iter().map(|t| 3.0 + 2.0 * t).collect();
+        let x = vandermonde(&ts, 1);
+        let w = vec![1.0; ts.len()];
+        let gram = x.weighted_gram(&w);
+        let rhs = x.weighted_rhs(&w, &ys);
+        let beta = cholesky_solve(&gram, &rhs, 1e-12).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-9);
+        assert!((beta[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vandermonde_and_eval_poly_agree() {
+        let ts = [0.0, 0.5, 1.0];
+        let m = vandermonde(&ts, 2);
+        let beta = [1.0, -2.0, 4.0];
+        for (i, &t) in ts.iter().enumerate() {
+            let via_matrix: f64 = (0..3).map(|j| m.get(i, j) * beta[j]).sum();
+            assert!((via_matrix - eval_poly(&beta, t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_rejected() {
+        let _ = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0]);
+    }
+}

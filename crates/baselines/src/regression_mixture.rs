@@ -1,0 +1,413 @@
+//! Regression-mixture clustering of **whole** trajectories — the Gaffney &
+//! Smyth baseline ([7, 8] in the paper; Section 6 "the most similar work to
+//! ours").
+//!
+//! The probability density of an observed trajectory is a mixture
+//! `P(yⱼ | xⱼ, θ) = Σₖ fₖ(yⱼ | xⱼ, θₖ) wₖ` with polynomial regression
+//! components `fₖ`: each output dimension of a trajectory, resampled to `T`
+//! positions `t ∈ [0, 1]`, is modelled as a degree-`p` polynomial in `t`
+//! plus isotropic Gaussian noise. EM estimates coefficients, noise
+//! variances and mixing weights; trajectories are hard-assigned to their
+//! maximum-responsibility component.
+//!
+//! This baseline clusters trajectories **as a whole** — exactly the
+//! behaviour whose shortcoming (missing common sub-trajectories, Figure 1)
+//! motivates TRACLUS. The `gaffney` experiment reproduces that contrast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traclus_geom::Trajectory;
+
+use crate::linalg::{cholesky_solve, eval_poly, vandermonde, Matrix};
+use crate::resample::resample;
+
+/// Configuration of the EM fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressionMixtureConfig {
+    /// Number of mixture components `K`.
+    pub components: usize,
+    /// Polynomial degree `p` of each regression component.
+    pub degree: usize,
+    /// Common resampling length `T`.
+    pub samples: usize,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Stop when the log-likelihood improves by less than this.
+    pub tolerance: f64,
+    /// RNG seed for the responsibility initialisation.
+    pub seed: u64,
+}
+
+impl Default for RegressionMixtureConfig {
+    fn default() -> Self {
+        Self {
+            components: 3,
+            degree: 2,
+            samples: 20,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted mixture model.
+#[derive(Debug, Clone)]
+pub struct RegressionMixtureModel<const D: usize> {
+    /// `beta[k][d]` — polynomial coefficients of component `k`, output
+    /// dimension `d` (constant term first).
+    pub beta: Vec<Vec<Vec<f64>>>,
+    /// Per-component noise variance `σₖ²`.
+    pub sigma2: Vec<f64>,
+    /// Mixing weights `wₖ`.
+    pub weights: Vec<f64>,
+    /// Hard assignment of each input trajectory.
+    pub assignments: Vec<usize>,
+    /// Soft responsibilities `r[i][k]`.
+    pub responsibilities: Vec<Vec<f64>>,
+    /// Final (per-trajectory mean) log-likelihood.
+    pub log_likelihood: f64,
+    /// EM iterations executed.
+    pub iterations: usize,
+}
+
+impl<const D: usize> RegressionMixtureModel<D> {
+    /// The mean curve of component `k` sampled at `samples` positions.
+    pub fn component_curve(&self, k: usize, samples: usize) -> Vec<[f64; D]> {
+        (0..samples)
+            .map(|s| {
+                let t = s as f64 / (samples - 1).max(1) as f64;
+                let mut point = [0.0; D];
+                for (d, out) in point.iter_mut().enumerate() {
+                    *out = eval_poly(&self.beta[k][d], t);
+                }
+                point
+            })
+            .collect()
+    }
+}
+
+/// Fits the mixture by EM (see module docs).
+pub fn fit_regression_mixture<const D: usize>(
+    trajectories: &[Trajectory<D>],
+    config: &RegressionMixtureConfig,
+) -> RegressionMixtureModel<D> {
+    assert!(config.components >= 1);
+    assert!(config.samples >= config.degree + 2, "need samples > degree");
+    let n = trajectories.len();
+    let k_count = config.components;
+    let t_count = config.samples;
+    // Resample everything onto the common grid.
+    let ts: Vec<f64> = (0..t_count)
+        .map(|s| s as f64 / (t_count - 1) as f64)
+        .collect();
+    let design = vandermonde(&ts, config.degree);
+    // ys[i][d][t]: output value of trajectory i, dimension d, position t.
+    let ys: Vec<Vec<Vec<f64>>> = trajectories
+        .iter()
+        .map(|tr| {
+            let pts = resample(tr, t_count);
+            (0..D)
+                .map(|d| pts.iter().map(|p| p.coords[d]).collect())
+                .collect()
+        })
+        .collect();
+
+    // Random soft initialisation of responsibilities.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut resp: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..k_count).map(|_| rng.gen::<f64>() + 0.05).collect();
+            let sum: f64 = row.iter().sum();
+            for r in &mut row {
+                *r /= sum;
+            }
+            row
+        })
+        .collect();
+
+    let mut beta = vec![vec![vec![0.0; config.degree + 1]; D]; k_count];
+    let mut sigma2 = vec![1.0; k_count];
+    let mut weights = vec![1.0 / k_count as f64; k_count];
+    let mut last_ll = f64::NEG_INFINITY;
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // ---- M step ----
+        for k in 0..k_count {
+            // Per-trajectory weights expand to per-sample weights (every
+            // sample of trajectory i carries r[i][k]).
+            let total_resp: f64 = resp.iter().map(|r| r[k]).sum();
+            weights[k] = (total_resp / n as f64).max(1e-12);
+            // Weighted least squares per output dimension: rows are the
+            // stacked samples of all trajectories; the Gram matrix is just
+            // total_resp-weighted since the design repeats per trajectory.
+            let mut gram = Matrix::zeros(config.degree + 1, config.degree + 1);
+            let per_sample = design.weighted_gram(&vec![1.0; t_count]);
+            for i in 0..=config.degree {
+                for j in 0..=config.degree {
+                    gram.set(i, j, per_sample.get(i, j) * total_resp);
+                }
+            }
+            for d in 0..D {
+                let mut rhs = vec![0.0; config.degree + 1];
+                for (i, tr_ys) in ys.iter().enumerate() {
+                    let r = resp[i][k];
+                    if r <= 0.0 {
+                        continue;
+                    }
+                    for (t_idx, &y) in tr_ys[d].iter().enumerate() {
+                        for (c, acc) in rhs.iter_mut().enumerate() {
+                            *acc += r * design.get(t_idx, c) * y;
+                        }
+                    }
+                }
+                beta[k][d] = cholesky_solve(&gram, &rhs, 1e-9)
+                    .unwrap_or_else(|| vec![0.0; config.degree + 1]);
+            }
+            // Noise variance: weighted mean squared residual across all
+            // dimensions and samples.
+            let mut sq = 0.0;
+            let mut denom = 0.0;
+            for (i, tr_ys) in ys.iter().enumerate() {
+                let r = resp[i][k];
+                if r <= 0.0 {
+                    continue;
+                }
+                for d in 0..D {
+                    for (t_idx, &y) in tr_ys[d].iter().enumerate() {
+                        let pred = eval_poly(&beta[k][d], ts[t_idx]);
+                        sq += r * (y - pred) * (y - pred);
+                        denom += r;
+                    }
+                }
+            }
+            sigma2[k] = (sq / denom.max(1e-12)).max(1e-9);
+        }
+        // ---- E step ----
+        let mut ll = 0.0;
+        for (i, tr_ys) in ys.iter().enumerate() {
+            // Log joint per component.
+            let mut logp = vec![0.0; k_count];
+            for (k, lp) in logp.iter_mut().enumerate() {
+                let mut acc = weights[k].ln();
+                let var = sigma2[k];
+                let norm = -0.5 * (std::f64::consts::TAU * var).ln();
+                for d in 0..D {
+                    for (t_idx, &y) in tr_ys[d].iter().enumerate() {
+                        let pred = eval_poly(&beta[k][d], ts[t_idx]);
+                        acc += norm - (y - pred) * (y - pred) / (2.0 * var);
+                    }
+                }
+                *lp = acc;
+            }
+            let max = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let sum_exp: f64 = logp.iter().map(|&l| (l - max).exp()).sum();
+            let log_evidence = max + sum_exp.ln();
+            ll += log_evidence;
+            for k in 0..k_count {
+                resp[i][k] = (logp[k] - log_evidence).exp();
+            }
+        }
+        let ll = ll / n.max(1) as f64;
+        if (ll - last_ll).abs() < config.tolerance {
+            last_ll = ll;
+            break;
+        }
+        last_ll = ll;
+    }
+
+    let assignments = resp
+        .iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(k, _)| k)
+                .unwrap_or(0)
+        })
+        .collect();
+    RegressionMixtureModel {
+        beta,
+        sigma2,
+        weights,
+        assignments,
+        responsibilities: resp,
+        log_likelihood: last_ll,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traclus_geom::{Point2, TrajectoryId};
+
+    /// `count` noisy copies of the line y = slope·x + intercept over
+    /// x ∈ [0, 100].
+    fn line_family(
+        count: usize,
+        slope: f64,
+        intercept: f64,
+        id0: u32,
+        wobble: f64,
+    ) -> Vec<Trajectory<2>> {
+        (0..count)
+            .map(|i| {
+                let points = (0..25)
+                    .map(|k| {
+                        let x = k as f64 * 4.0;
+                        let y = slope * x
+                            + intercept
+                            + wobble * ((i as f64 * 1.7 + k as f64) * 0.9).sin();
+                        Point2::xy(x, y)
+                    })
+                    .collect();
+                Trajectory::new(TrajectoryId(id0 + i as u32), points)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_line_families() {
+        let mut trajs = line_family(10, 0.0, 0.0, 0, 0.5);
+        trajs.extend(line_family(10, 0.0, 60.0, 100, 0.5));
+        let model = fit_regression_mixture(
+            &trajs,
+            &RegressionMixtureConfig {
+                components: 2,
+                degree: 1,
+                ..RegressionMixtureConfig::default()
+            },
+        );
+        // All of family A in one component, all of family B in the other.
+        let a = model.assignments[0];
+        assert!(model.assignments[..10].iter().all(|&k| k == a));
+        let b = model.assignments[10];
+        assert!(model.assignments[10..].iter().all(|&k| k == b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mixing_weights_reflect_family_sizes() {
+        let mut trajs = line_family(15, 0.0, 0.0, 0, 0.3);
+        trajs.extend(line_family(5, 0.0, 80.0, 100, 0.3));
+        let model = fit_regression_mixture(
+            &trajs,
+            &RegressionMixtureConfig {
+                components: 2,
+                degree: 1,
+                ..RegressionMixtureConfig::default()
+            },
+        );
+        let mut w = model.weights.clone();
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((w[0] - 0.25).abs() < 0.1, "small component ≈ 5/20: {w:?}");
+        assert!((w[1] - 0.75).abs() < 0.1);
+    }
+
+    #[test]
+    fn component_curves_recover_the_lines() {
+        let mut trajs = line_family(8, 0.5, 0.0, 0, 0.2);
+        trajs.extend(line_family(8, -0.5, 100.0, 50, 0.2));
+        let model = fit_regression_mixture(
+            &trajs,
+            &RegressionMixtureConfig {
+                components: 2,
+                degree: 1,
+                ..RegressionMixtureConfig::default()
+            },
+        );
+        // One component's curve must rise, the other fall (in y over x).
+        let rises: Vec<bool> = (0..2)
+            .map(|k| {
+                let curve = model.component_curve(k, 10);
+                curve.last().unwrap()[1] > curve.first().unwrap()[1]
+            })
+            .collect();
+        assert_ne!(rises[0], rises[1], "one rising, one falling family");
+    }
+
+    #[test]
+    fn misses_common_sub_trajectory_by_design() {
+        // The Figure 1 situation: all trajectories share a corridor then
+        // fan out to very different endpoints. Whole-trajectory clustering
+        // with K = 2 must split the fan *somewhere*, demonstrating that no
+        // component isolates the shared corridor (that is TRACLUS's job).
+        let headings = [-1.0, -0.5, 0.0, 0.5, 1.0];
+        let trajs: Vec<Trajectory<2>> = headings
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                let mut points: Vec<Point2> =
+                    (0..15).map(|k| Point2::xy(k as f64 * 4.0, 0.0)).collect();
+                for k in 1..15 {
+                    points.push(Point2::xy(60.0 + k as f64 * 4.0, h * k as f64 * 4.0));
+                }
+                Trajectory::new(TrajectoryId(i as u32), points)
+            })
+            .collect();
+        let model = fit_regression_mixture(
+            &trajs,
+            &RegressionMixtureConfig {
+                components: 2,
+                degree: 2,
+                ..RegressionMixtureConfig::default()
+            },
+        );
+        // The five trajectories end up split by final heading; the extreme
+        // up-fan and down-fan trajectories cannot share a component.
+        assert_ne!(
+            model.assignments[0], model.assignments[4],
+            "whole-trajectory clustering separates the divergent tails"
+        );
+    }
+
+    #[test]
+    fn log_likelihood_is_finite_and_iterations_bounded() {
+        let trajs = line_family(6, 0.2, 5.0, 0, 1.0);
+        let config = RegressionMixtureConfig {
+            components: 2,
+            max_iterations: 25,
+            ..RegressionMixtureConfig::default()
+        };
+        let model = fit_regression_mixture(&trajs, &config);
+        assert!(model.log_likelihood.is_finite());
+        assert!(model.iterations <= 25);
+        for r in &model.responsibilities {
+            let sum: f64 = r.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "responsibilities sum to 1");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trajs = line_family(8, 0.1, 0.0, 0, 0.8);
+        let config = RegressionMixtureConfig::default();
+        let a = fit_regression_mixture(&trajs, &config);
+        let b = fit_regression_mixture(&trajs, &config);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.log_likelihood, b.log_likelihood);
+    }
+
+    #[test]
+    fn single_component_fits_everything() {
+        let trajs = line_family(5, 0.0, 10.0, 0, 0.5);
+        let model = fit_regression_mixture(
+            &trajs,
+            &RegressionMixtureConfig {
+                components: 1,
+                degree: 1,
+                ..RegressionMixtureConfig::default()
+            },
+        );
+        assert!(model.assignments.iter().all(|&k| k == 0));
+        assert!((model.weights[0] - 1.0).abs() < 1e-9);
+        // The fitted line sits near y = 10.
+        let curve = model.component_curve(0, 5);
+        for p in curve {
+            assert!((p[1] - 10.0).abs() < 2.0, "curve y {}", p[1]);
+        }
+    }
+}

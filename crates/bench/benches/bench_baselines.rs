@@ -1,0 +1,65 @@
+//! Baseline algorithm benchmarks: regression-mixture EM, trajectory
+//! k-means, point DBSCAN and segment OPTICS — the comparative cost context
+//! for TRACLUS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use traclus_baselines::{
+    dbscan_points, fit_regression_mixture, kmeans_trajectories, optics_segments, KMeansConfig,
+    RegressionMixtureConfig,
+};
+use traclus_core::{partition_trajectories, IndexKind, PartitionConfig, SegmentDatabase};
+use traclus_data::{generate_scene, SceneConfig};
+use traclus_geom::{Point2, SegmentDistance};
+
+fn bench_baselines(c: &mut Criterion) {
+    let scene = generate_scene(&SceneConfig {
+        per_backbone: 15,
+        seed: 21,
+        ..SceneConfig::default()
+    });
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("regression_mixture_k4", |b| {
+        b.iter(|| {
+            fit_regression_mixture(
+                &scene.trajectories,
+                &RegressionMixtureConfig {
+                    components: 4,
+                    max_iterations: 30,
+                    ..RegressionMixtureConfig::default()
+                },
+            )
+        })
+    });
+    group.bench_function("kmeans_k4", |b| {
+        b.iter(|| {
+            kmeans_trajectories(
+                &scene.trajectories,
+                &KMeansConfig {
+                    k: 4,
+                    ..KMeansConfig::default()
+                },
+            )
+        })
+    });
+    let points: Vec<Point2> = scene
+        .trajectories
+        .iter()
+        .flat_map(|t| t.points.iter().copied())
+        .collect();
+    group.bench_function("point_dbscan", |b| {
+        b.iter(|| dbscan_points(&points, 5.0, 6))
+    });
+    let db = SegmentDatabase::from_segments(
+        partition_trajectories(&PartitionConfig::default(), &scene.trajectories),
+        SegmentDistance::default(),
+    );
+    let index = db.build_index(IndexKind::RTree, 7.0);
+    group.bench_function("optics_segments", |b| {
+        b.iter(|| optics_segments(&db, &index, 7.0, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the segment distance function (Definitions 1–3) —
+//! the innermost kernel of both TRACLUS phases — against the naive
+//! endpoint-sum distance of Appendix A.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traclus_geom::{endpoint_sum_distance, Segment2, SegmentDistance};
+
+fn random_segments(n: usize, seed: u64) -> Vec<Segment2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Segment2::xy(
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let segs = random_segments(1024, 7);
+    let dist = SegmentDistance::default();
+    let mut group = c.benchmark_group("distance");
+    group.bench_function("composite_pairwise_32x32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in (0..segs.len()).step_by(32) {
+                for j in (0..segs.len()).step_by(32) {
+                    acc += dist.distance(black_box(&segs[i]), black_box(&segs[j]));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("endpoint_sum_pairwise_32x32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in (0..segs.len()).step_by(32) {
+                for j in (0..segs.len()).step_by(32) {
+                    acc += endpoint_sum_distance(black_box(&segs[i]), black_box(&segs[j]));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("components_single", |b| {
+        b.iter(|| dist.components(black_box(&segs[0]), black_box(&segs[1])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Section 4.4 benchmarks: neighborhood-statistics/entropy evaluation cost
+//! (one point of the Figure 16/19 curves) and simulated-annealing ε
+//! selection on a small scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use traclus_core::{
+    partition_trajectories, select_eps_annealing, AnnealConfig, IndexKind, NeighborhoodStats,
+    PartitionConfig, SegmentDatabase,
+};
+use traclus_data::{generate_scene, SceneConfig};
+use traclus_geom::SegmentDistance;
+
+fn database(per_backbone: usize) -> SegmentDatabase<2> {
+    let scene = generate_scene(&SceneConfig {
+        per_backbone,
+        seed: 13,
+        ..SceneConfig::default()
+    });
+    SegmentDatabase::from_segments(
+        partition_trajectories(&PartitionConfig::default(), &scene.trajectories),
+        SegmentDistance::default(),
+    )
+}
+
+fn bench_params(c: &mut Criterion) {
+    let db = database(40);
+    let index = db.build_index(IndexKind::RTree, 7.0);
+    let mut group = c.benchmark_group("params");
+    group.sample_size(20);
+    group.bench_function("entropy_single_eps", |b| {
+        b.iter(|| {
+            let stats = NeighborhoodStats::compute(&db, &index, 7.0, false);
+            stats.entropy()
+        })
+    });
+    let small = database(10);
+    group.bench_function("annealing_50_iterations", |b| {
+        b.iter(|| {
+            select_eps_annealing(
+                &small,
+                IndexKind::RTree,
+                1.0..=20.0,
+                false,
+                &AnnealConfig {
+                    iterations: 50,
+                    ..AnnealConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_params);
+criterion_main!(benches);

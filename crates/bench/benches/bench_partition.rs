@@ -1,0 +1,41 @@
+//! Lemma 1 micro-benchmark: approximate MDL partitioning is O(n) in the
+//! trajectory length; the exact DP optimum is polynomial and only viable
+//! on short trajectories.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traclus_core::{approximate_partition, optimal_partition, PartitionConfig};
+use traclus_geom::Point2;
+
+fn wavy(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 * 3.0;
+            Point2::xy(x, 40.0 * (x * 0.02).sin() + 8.0 * (x * 0.11).sin())
+        })
+        .collect()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let config = PartitionConfig::default();
+    let mut group = c.benchmark_group("partition/approximate");
+    for n in [512usize, 1024, 2048, 4096] {
+        let points = wavy(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| approximate_partition(black_box(&config), black_box(pts)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("partition/optimal_dp");
+    group.sample_size(10);
+    for n in [32usize, 64, 96] {
+        let points = wavy(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| optimal_partition(black_box(&config), black_box(pts), None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

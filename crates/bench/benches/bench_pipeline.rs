@@ -1,0 +1,57 @@
+//! End-to-end TRACLUS pipeline benchmark (Figure 4: partition → group →
+//! representative trajectories) on scaled synthetic scenes and a
+//! hurricane-sized dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traclus_core::{Traclus, TraclusConfig};
+use traclus_data::{generate_scene, HurricaneConfig, HurricaneGenerator, SceneConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/scene");
+    group.sample_size(10);
+    for per_backbone in [15usize, 60] {
+        let scene = generate_scene(&SceneConfig {
+            per_backbone,
+            seed: 3,
+            ..SceneConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scene.trajectories.len()),
+            &scene.trajectories,
+            |b, trajs| {
+                b.iter(|| {
+                    Traclus::new(TraclusConfig {
+                        eps: 7.0,
+                        min_lns: 6,
+                        ..TraclusConfig::default()
+                    })
+                    .run(trajs)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("pipeline/hurricane");
+    group.sample_size(10);
+    let tracks = HurricaneGenerator::new(HurricaneConfig {
+        tracks: 150,
+        seed: 4,
+        ..HurricaneConfig::default()
+    })
+    .generate();
+    group.bench_function("150_tracks", |b| {
+        b.iter(|| {
+            Traclus::new(TraclusConfig {
+                eps: 2.0,
+                min_lns: 5,
+                ..TraclusConfig::default()
+            })
+            .run(&tracks)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

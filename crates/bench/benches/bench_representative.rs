@@ -1,0 +1,42 @@
+//! Representative-trajectory generation (Figure 15) benchmark: the sweep
+//! over a large single cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traclus_core::{representative_trajectory, Cluster, ClusterId, RepresentativeConfig, SegmentDatabase};
+use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
+
+fn bundle_db(n: usize) -> (SegmentDatabase<2>, Cluster) {
+    let segs: Vec<IdentifiedSegment<2>> = (0..n)
+        .map(|i| {
+            let y = (i % 40) as f64 * 0.3;
+            let x0 = (i % 7) as f64 * 3.0;
+            IdentifiedSegment::new(
+                SegmentId(i as u32),
+                TrajectoryId(i as u32),
+                Segment2::xy(x0, y, x0 + 50.0, y + 0.5),
+            )
+        })
+        .collect();
+    let db = SegmentDatabase::from_segments(segs, SegmentDistance::default());
+    let cluster = Cluster {
+        id: ClusterId(0),
+        members: (0..n as u32).collect(),
+        trajectories: (0..n as u32).map(TrajectoryId).collect(),
+    };
+    (db, cluster)
+}
+
+fn bench_representative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("representative");
+    for n in [100usize, 400, 1600] {
+        let (db, cluster) = bundle_db(n);
+        let config = RepresentativeConfig::new(5, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| representative_trajectory(&db, &cluster, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representative);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! One module per reproduced experiment; the registry maps experiment ids
+//! (as used on the `experiments` CLI and in DESIGN.md §3) to runners.
+
+pub mod appendices;
+pub mod clustering_figures;
+pub mod entropy_curves;
+pub mod noise_robustness;
+pub mod param_effects;
+pub mod partition_precision;
+pub mod quality_sweeps;
+pub mod scaling;
+pub mod suppression;
+pub mod whole_trajectory;
+
+use crate::util::ExperimentContext;
+
+/// A registered experiment.
+pub struct Experiment {
+    /// CLI id (e.g. `fig16`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub description: &'static str,
+    /// Runner; writes artifacts into the context and prints a summary.
+    pub run: fn(&ExperimentContext) -> std::io::Result<()>,
+}
+
+/// All experiments, in the order of DESIGN.md §3.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig16",
+            description: "Figure 16: entropy vs eps, hurricane data",
+            run: entropy_curves::fig16,
+        },
+        Experiment {
+            id: "fig17",
+            description: "Figure 17: QMeasure vs eps (MinLns sweep), hurricane data",
+            run: quality_sweeps::fig17,
+        },
+        Experiment {
+            id: "fig18",
+            description: "Figure 18: clustering result, hurricane data (paper: 7 clusters)",
+            run: clustering_figures::fig18,
+        },
+        Experiment {
+            id: "fig19",
+            description: "Figure 19: entropy vs eps, Elk1993",
+            run: entropy_curves::fig19,
+        },
+        Experiment {
+            id: "fig20",
+            description: "Figure 20: QMeasure vs eps (MinLns sweep), Elk1993",
+            run: quality_sweeps::fig20,
+        },
+        Experiment {
+            id: "fig21",
+            description: "Figure 21: clustering result, Elk1993 (paper: 13 clusters)",
+            run: clustering_figures::fig21,
+        },
+        Experiment {
+            id: "fig22",
+            description: "Figure 22: clustering result, Deer1995 (paper: 2 clusters)",
+            run: clustering_figures::fig22,
+        },
+        Experiment {
+            id: "sec54",
+            description: "Section 5.4: effects of parameter values (eps sweep, cluster count/size)",
+            run: param_effects::sec54,
+        },
+        Experiment {
+            id: "fig23",
+            description: "Figure 23: robustness to noise (25% noise trajectories)",
+            run: noise_robustness::fig23,
+        },
+        Experiment {
+            id: "prec80",
+            description: "Section 3.3: approximate-vs-exact partitioning precision (~80%)",
+            run: partition_precision::prec80,
+        },
+        Experiment {
+            id: "lemma1",
+            description: "Lemma 1: O(n) partitioning scaling",
+            run: scaling::lemma1,
+        },
+        Experiment {
+            id: "lemma3",
+            description: "Lemma 3: clustering O(n log n) with index vs O(n^2) without",
+            run: scaling::lemma3,
+        },
+        Experiment {
+            id: "appendix_a",
+            description: "Appendix A / Figure 24: composite vs endpoint-sum distance",
+            run: appendices::appendix_a,
+        },
+        Experiment {
+            id: "appendix_b",
+            description: "Appendix B: effect of distance-component weights",
+            run: appendices::appendix_b,
+        },
+        Experiment {
+            id: "appendix_c",
+            description: "Appendix C: shift invariance of the length-based L(H)",
+            run: appendices::appendix_c,
+        },
+        Experiment {
+            id: "appendix_d",
+            description: "Appendix D / Figure 25: OPTICS reachability, points vs segments",
+            run: appendices::appendix_d,
+        },
+        Experiment {
+            id: "sec413",
+            description: "Section 4.1.3: partitioning suppression lengthens segments, improves quality",
+            run: suppression::sec413,
+        },
+        Experiment {
+            id: "gaffney",
+            description: "Figure 1 motivation: regression-mixture EM misses common sub-trajectories",
+            run: whole_trajectory::gaffney,
+        },
+    ]
+}

@@ -1,0 +1,137 @@
+//! The Figure 1 motivation, quantified: whole-trajectory clustering
+//! (Gaffney-style regression mixtures, trajectory k-means) cannot isolate a
+//! common sub-trajectory that TRACLUS finds.
+//!
+//! Scene: trajectories share a long west→east corridor and then fan out in
+//! five directions. TRACLUS should report one corridor cluster whose
+//! representative hugs the corridor; the whole-trajectory baselines split
+//! the fan by tail direction and no component isolates the corridor.
+
+use traclus_baselines::{fit_regression_mixture, kmeans_trajectories, KMeansConfig, RegressionMixtureConfig};
+use traclus_core::{Traclus, TraclusConfig};
+use traclus_geom::{Point2, Trajectory, TrajectoryId};
+use traclus_viz::render_clustering;
+
+use crate::util::ExperimentContext;
+
+/// Builds the fan scene: `per_heading` trajectories per divergence heading.
+pub fn fan_scene(per_heading: usize) -> Vec<Trajectory<2>> {
+    let headings = [(1.0f64, 1.0f64), (1.0, 0.5), (1.0, 0.0), (1.0, -0.5), (1.0, -1.0)];
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for (h, &(dx, dy)) in headings.iter().enumerate() {
+        for j in 0..per_heading {
+            let offset = (h * per_heading + j) as f64 * 0.4;
+            let mut points = Vec::new();
+            for k in 0..30 {
+                points.push(Point2::xy(k as f64 * 4.0, offset));
+            }
+            let (ox, oy) = (29.0 * 4.0, offset);
+            for k in 1..16 {
+                let t = k as f64 * 4.0;
+                points.push(Point2::xy(ox + dx * t, oy + dy * t));
+            }
+            out.push(Trajectory::new(TrajectoryId(id), points));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Runs the comparison.
+pub fn gaffney(ctx: &ExperimentContext) -> std::io::Result<()> {
+    let trajectories = fan_scene(4); // 20 trajectories, 5 headings
+    println!("[gaffney] 20 trajectories: shared corridor then 5-way fan (Figure 1 scene)");
+
+    // TRACLUS.
+    let outcome = Traclus::new(TraclusConfig {
+        eps: 10.0,
+        min_lns: 6,
+        ..TraclusConfig::default()
+    })
+    .run(&trajectories);
+    let corridor_cluster = outcome.clusters.iter().find(|c| {
+        // A corridor cluster draws members from (nearly) all trajectories.
+        c.trajectories.len() >= 15
+    });
+    println!(
+        "[gaffney] TRACLUS: {} clusters; corridor cluster present: {} (trajectory cardinalities: {:?})",
+        outcome.clusters.len(),
+        corridor_cluster.is_some(),
+        outcome
+            .clusters
+            .iter()
+            .map(|c| c.trajectories.len())
+            .collect::<Vec<_>>()
+    );
+    let svg = render_clustering(&trajectories, &outcome, 800.0, 500.0);
+    ctx.write_text("gaffney_traclus.svg", &svg)?;
+
+    // Regression mixture over whole trajectories, K = 2..5.
+    let mut csv = ctx.csv(
+        "gaffney_comparison.csv",
+        &["method", "k", "max_component_share", "splits_fan"],
+    )?;
+    csv.row(&[
+        "traclus".into(),
+        format!("{}", outcome.clusters.len()),
+        format!(
+            "{}",
+            corridor_cluster.map(|c| c.trajectories.len() as f64 / 20.0).unwrap_or(0.0)
+        ),
+        "false".into(),
+    ])?;
+    for k in [2usize, 3, 5] {
+        let model = fit_regression_mixture(
+            &trajectories,
+            &RegressionMixtureConfig {
+                components: k,
+                degree: 2,
+                ..RegressionMixtureConfig::default()
+            },
+        );
+        // Does any component hold (nearly) all trajectories? If not, the
+        // fan was split and no cluster captures the shared corridor.
+        let mut counts = vec![0usize; k];
+        for &a in &model.assignments {
+            counts[a] += 1;
+        }
+        let max_share = counts.iter().copied().max().unwrap_or(0) as f64 / 20.0;
+        let splits_fan = max_share < 0.95;
+        csv.row(&[
+            "regression_mixture".into(),
+            k.to_string(),
+            format!("{max_share}"),
+            splits_fan.to_string(),
+        ])?;
+        println!(
+            "[gaffney] regression mixture K = {k}: component sizes {counts:?} (max share {:.0}%) -> corridor not isolated",
+            max_share * 100.0
+        );
+    }
+    // Trajectory k-means for completeness.
+    for k in [2usize, 5] {
+        let result = kmeans_trajectories(
+            &trajectories,
+            &KMeansConfig {
+                k,
+                ..KMeansConfig::default()
+            },
+        );
+        let mut counts = vec![0usize; k];
+        for &a in &result.assignments {
+            counts[a] += 1;
+        }
+        let max_share = counts.iter().copied().max().unwrap_or(0) as f64 / 20.0;
+        csv.row(&[
+            "kmeans".into(),
+            k.to_string(),
+            format!("{max_share}"),
+            (max_share < 0.95).to_string(),
+        ])?;
+        println!("[gaffney] k-means K = {k}: component sizes {counts:?}");
+    }
+    let path = csv.finish()?;
+    println!("[gaffney] -> {}", path.display());
+    Ok(())
+}

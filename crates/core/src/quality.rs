@@ -1,0 +1,243 @@
+//! The clustering-quality measure `QMeasure` (Section 5.1, Formula 11).
+//!
+//! `QMeasure = Total SSE + Noise Penalty`, where each cluster contributes
+//! `(1 / 2|Cᵢ|) Σ_{x∈Cᵢ} Σ_{y∈Cᵢ} dist(x,y)²` and the noise set `N`
+//! contributes the same expression over itself. Smaller is better; the
+//! noise penalty punishes parameter choices (too small ε / too large
+//! MinLns) that push real cluster members into noise. The paper uses it
+//! only as "a hint of the clustering quality" — Figures 17 and 20.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster::Clustering;
+use crate::segment_db::SegmentDatabase;
+
+/// The two addends of Formula 11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QMeasure {
+    /// `Σᵢ (1/2|Cᵢ|) Σ_{x,y∈Cᵢ} dist(x,y)²`.
+    pub total_sse: f64,
+    /// `(1/2|N|) Σ_{w,z∈N} dist(w,z)²`.
+    pub noise_penalty: f64,
+}
+
+impl QMeasure {
+    /// The combined measure (smaller = better).
+    pub fn value(&self) -> f64 {
+        self.total_sse + self.noise_penalty
+    }
+
+    /// Exact evaluation: O(Σ|Cᵢ|² + |N|²) distance computations.
+    pub fn compute<const D: usize>(db: &SegmentDatabase<D>, clustering: &Clustering) -> Self {
+        let mut total_sse = 0.0;
+        for cluster in &clustering.clusters {
+            total_sse += group_sse(db, &cluster.members, None, 0);
+        }
+        let noise = clustering.noise();
+        let noise_penalty = group_sse(db, &noise, None, 0);
+        Self {
+            total_sse,
+            noise_penalty,
+        }
+    }
+
+    /// Sampled evaluation: any group with more than `max_pairs` ordered
+    /// pairs is estimated from `max_pairs` uniformly sampled pairs and
+    /// scaled; unbiased, deterministic for a fixed seed. Use for large
+    /// noise sets where the exact O(|N|²) sum is prohibitive.
+    pub fn compute_sampled<const D: usize>(
+        db: &SegmentDatabase<D>,
+        clustering: &Clustering,
+        max_pairs: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(max_pairs > 0);
+        let mut total_sse = 0.0;
+        for cluster in &clustering.clusters {
+            total_sse += group_sse(db, &cluster.members, Some(max_pairs), seed ^ cluster.id.0 as u64);
+        }
+        let noise = clustering.noise();
+        let noise_penalty = group_sse(db, &noise, Some(max_pairs), seed ^ 0xdead_beef);
+        Self {
+            total_sse,
+            noise_penalty,
+        }
+    }
+}
+
+/// `(1/2|G|) Σ_{x∈G} Σ_{y∈G} dist(x,y)²` for a group `G` of segment ids.
+///
+/// The double sum runs over ordered pairs including `x = y` (those add 0),
+/// exactly as Formula 11 writes it.
+fn group_sse<const D: usize>(
+    db: &SegmentDatabase<D>,
+    members: &[u32],
+    max_pairs: Option<usize>,
+    seed: u64,
+) -> f64 {
+    let n = members.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total_pairs = n * n;
+    match max_pairs {
+        Some(cap) if total_pairs > cap => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut acc = 0.0;
+            for _ in 0..cap {
+                let a = members[rng.gen_range(0..n)];
+                let b = members[rng.gen_range(0..n)];
+                let d = db.distance(a, b);
+                acc += d * d;
+            }
+            // Mean over sampled ordered pairs, scaled to the full double
+            // sum, then the 1/(2|G|) prefactor.
+            (acc / cap as f64) * total_pairs as f64 / (2.0 * n as f64)
+        }
+        _ => {
+            let mut acc = 0.0;
+            for (i, &a) in members.iter().enumerate() {
+                // Unordered pairs counted twice = ordered sum; diagonal is 0.
+                for &b in &members[i + 1..] {
+                    let d = db.distance(a, b);
+                    acc += 2.0 * d * d;
+                }
+            }
+            acc / (2.0 * n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, LineSegmentClustering};
+    use traclus_geom::{
+        IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId,
+    };
+
+    fn db_of(segs: Vec<Segment2>) -> SegmentDatabase<2> {
+        let identified = segs
+            .into_iter()
+            .enumerate()
+            .map(|(k, s)| IdentifiedSegment::new(SegmentId(k as u32), TrajectoryId(k as u32), s))
+            .collect();
+        SegmentDatabase::from_segments(identified, SegmentDistance::default())
+    }
+
+    fn bundle(y0: f64, gap: f64, count: usize) -> Vec<Segment2> {
+        (0..count)
+            .map(|i| Segment2::xy(0.0, y0 + gap * i as f64, 10.0, y0 + gap * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn identical_members_give_zero_sse() {
+        let db = db_of(vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+        ]);
+        assert_eq!(group_sse(&db, &[0, 1, 2], None, 0), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_two_member_group() {
+        // Two parallel segments at distance 2: double sum = 2 · 2² = 8;
+        // prefactor 1/(2·2) → SSE = 2.
+        let db = db_of(vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(0.0, 2.0, 10.0, 2.0),
+        ]);
+        let sse = group_sse(&db, &[0, 1], None, 0);
+        assert!((sse - 2.0).abs() < 1e-9, "got {sse}");
+    }
+
+    #[test]
+    fn qmeasure_prefers_correct_parameters() {
+        // Two clean bundles; at a sensible ε both cluster and QMeasure is
+        // small. At a tiny ε everything is noise and the penalty explodes.
+        let mut segs = bundle(0.0, 0.4, 6);
+        segs.extend(bundle(50.0, 0.4, 6));
+        let db = db_of(segs);
+        let good = LineSegmentClustering::new(
+            &db,
+            ClusterConfig {
+                min_trajectories: Some(2),
+                ..ClusterConfig::new(1.5, 3)
+            },
+        )
+        .run();
+        assert_eq!(good.clusters.len(), 2);
+        let q_good = QMeasure::compute(&db, &good);
+        let bad = LineSegmentClustering::new(
+            &db,
+            ClusterConfig {
+                min_trajectories: Some(2),
+                ..ClusterConfig::new(0.01, 3)
+            },
+        )
+        .run();
+        assert!(bad.clusters.is_empty(), "tiny ε clusters nothing");
+        let q_bad = QMeasure::compute(&db, &bad);
+        assert!(
+            q_good.value() < q_bad.value(),
+            "good {} must beat bad {}",
+            q_good.value(),
+            q_bad.value()
+        );
+        assert_eq!(q_bad.total_sse, 0.0, "no clusters, only penalty");
+        assert!(q_bad.noise_penalty > 0.0);
+    }
+
+    #[test]
+    fn sampled_estimator_tracks_exact_value() {
+        let mut segs = Vec::new();
+        for i in 0..40 {
+            segs.push(Segment2::xy(
+                (i % 7) as f64,
+                0.3 * i as f64,
+                10.0 + (i % 7) as f64,
+                0.3 * i as f64,
+            ));
+        }
+        let db = db_of(segs);
+        let clustering = LineSegmentClustering::new(
+            &db,
+            ClusterConfig {
+                min_trajectories: Some(2),
+                ..ClusterConfig::new(2.0, 3)
+            },
+        )
+        .run();
+        let exact = QMeasure::compute(&db, &clustering).value();
+        let sampled = QMeasure::compute_sampled(&db, &clustering, 600, 42).value();
+        let rel = (sampled - exact).abs() / exact.max(1e-9);
+        assert!(rel < 0.35, "sampled {sampled} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn sampled_equals_exact_when_under_cap() {
+        let db = db_of(bundle(0.0, 1.0, 5));
+        let clustering = LineSegmentClustering::new(
+            &db,
+            ClusterConfig {
+                min_trajectories: Some(2),
+                ..ClusterConfig::new(2.5, 3)
+            },
+        )
+        .run();
+        let exact = QMeasure::compute(&db, &clustering);
+        let sampled = QMeasure::compute_sampled(&db, &clustering, 10_000, 1);
+        assert_eq!(exact, sampled, "cap larger than pair count ⇒ exact path");
+    }
+
+    #[test]
+    fn empty_clustering_scores_zero() {
+        let db = db_of(vec![]);
+        let clustering = LineSegmentClustering::new(&db, ClusterConfig::new(1.0, 2)).run();
+        let q = QMeasure::compute(&db, &clustering);
+        assert_eq!(q.value(), 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Representative trajectory generation (Section 4.3, Figure 15).
+//!
+//! For each cluster, a sweep line travels along the cluster's *average
+//! direction vector* (Definition 11). At every start/end point of a member
+//! segment (sorted by rotated `X′`), the number of member segments whose
+//! `X′`-extent contains the sweep position is counted; where at least
+//! `MinLns` segments are hit — and the previous emitted point is at least
+//! the smoothing distance γ behind — the average of the member segments'
+//! coordinates at that sweep position is emitted (after undoing the
+//! rotation). The emitted polyline is the cluster's *common
+//! sub-trajectory*.
+
+use traclus_geom::{OrthonormalFrame, Point, Trajectory, TrajectoryId, Vector};
+
+use crate::cluster::Cluster;
+use crate::segment_db::SegmentDatabase;
+
+/// Parameters of representative-trajectory generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepresentativeConfig {
+    /// `MinLns`: minimum sweep-hit count for a point to be emitted
+    /// (Figure 15 line 7). Usually the clustering `MinLns`.
+    pub min_lns: usize,
+    /// Smoothing parameter γ (Figure 15 line 9): minimum `X′` advance
+    /// between consecutive emitted points.
+    pub smoothing: f64,
+    /// Weighted sweep (the Section 4.2 weighted-trajectory extension
+    /// carried through to Figure 15): the hit count becomes the sum of
+    /// member weights and the emitted coordinate the weighted mean.
+    pub weighted: bool,
+}
+
+impl RepresentativeConfig {
+    /// γ = 0 disables smoothing (every qualifying sweep position emits).
+    pub fn new(min_lns: usize, smoothing: f64) -> Self {
+        assert!(smoothing >= 0.0, "γ must be non-negative");
+        Self {
+            min_lns,
+            smoothing,
+            weighted: false,
+        }
+    }
+
+    /// Enables the weighted sweep.
+    pub fn weighted(mut self) -> Self {
+        self.weighted = true;
+        self
+    }
+}
+
+/// The average direction vector of Definition 11: the plain vector mean,
+/// deliberately *not* normalising the addends so that longer segments
+/// contribute more ("a nice heuristic giving the effect of a longer vector
+/// contributing more").
+pub fn average_direction_vector<const D: usize>(vectors: &[Vector<D>]) -> Vector<D> {
+    let mut sum = Vector::<D>::zero();
+    for v in vectors {
+        sum += *v;
+    }
+    if vectors.is_empty() {
+        sum
+    } else {
+        sum / vectors.len() as f64
+    }
+}
+
+/// Generates the representative trajectory of `cluster` (Figure 15).
+///
+/// Returns a trajectory whose id is the cluster id re-used as a
+/// [`TrajectoryId`] in a separate namespace (representatives are
+/// "imaginary" trajectories; Section 2.1). Clusters whose members never
+/// stack `min_lns` deep yield an empty polyline.
+pub fn representative_trajectory<const D: usize>(
+    db: &SegmentDatabase<D>,
+    cluster: &Cluster,
+    config: &RepresentativeConfig,
+) -> Trajectory<D> {
+    let vectors: Vec<Vector<D>> = cluster
+        .members
+        .iter()
+        .map(|&m| db.segment(m).segment.vector())
+        .collect();
+    let mut avg_dir = average_direction_vector(&vectors);
+    if avg_dir.normalized().is_none() {
+        // Anti-parallel members can cancel exactly; fall back to the
+        // longest member's direction so the sweep axis is still defined.
+        avg_dir = cluster
+            .members
+            .iter()
+            .map(|&m| db.segment(m).segment.vector())
+            .max_by(|a, b| {
+                a.norm_squared()
+                    .partial_cmp(&b.norm_squared())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(Vector::zero);
+    }
+    let frame = match OrthonormalFrame::from_direction(&avg_dir) {
+        Some(f) => f,
+        None => {
+            // Only possible for an empty/degenerate cluster.
+            return Trajectory::new(TrajectoryId(cluster.id.0), Vec::new());
+        }
+    };
+
+    // Member segments in frame coordinates, oriented so start.x′ ≤ end.x′
+    // (lines 1–2: "rotate the axes"; the sweep only cares about extents).
+    struct FrameSegment<const D: usize> {
+        lo: [f64; D],
+        hi: [f64; D],
+        weight: f64,
+    }
+    let mut frame_segments: Vec<FrameSegment<D>> = Vec::with_capacity(cluster.members.len());
+    let mut events: Vec<f64> = Vec::with_capacity(cluster.members.len() * 2);
+    for &m in &cluster.members {
+        let identified = db.segment(m);
+        let seg = &identified.segment;
+        let a = frame.to_frame(&seg.start);
+        let b = frame.to_frame(&seg.end);
+        let (lo, hi) = if a[0] <= b[0] { (a, b) } else { (b, a) };
+        events.push(lo[0]);
+        events.push(hi[0]);
+        frame_segments.push(FrameSegment {
+            lo,
+            hi,
+            weight: if config.weighted { identified.weight } else { 1.0 },
+        });
+    }
+    // Lines 3–4: sort the endpoints by X′.
+    events.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut points: Vec<Point<D>> = Vec::new();
+    let mut last_emitted_x: Option<f64> = None;
+    for &x in &events {
+        // Line 6: count the segments containing this X′ value (weighted
+        // counts under the Section 4.2 extension).
+        let mut hits = 0.0f64;
+        for fs in &frame_segments {
+            if fs.lo[0] <= x && x <= fs.hi[0] {
+                hits += fs.weight;
+            }
+        }
+        if hits < config.min_lns as f64 {
+            continue; // line 7 fails: skip (e.g. positions 5–6 in Figure 13)
+        }
+        // Line 9: smoothing — require an X′ advance of at least γ.
+        if let Some(prev) = last_emitted_x {
+            if x - prev < config.smoothing {
+                continue;
+            }
+        }
+        // Line 10: average the member coordinates at this sweep position
+        // (weight-averaged under the weighted extension).
+        let mut avg = [0.0f64; D];
+        let mut total_weight = 0.0f64;
+        for fs in &frame_segments {
+            if fs.lo[0] <= x && x <= fs.hi[0] {
+                let span = fs.hi[0] - fs.lo[0];
+                let t = if span > 0.0 { (x - fs.lo[0]) / span } else { 0.5 };
+                for k in 1..D {
+                    avg[k] += fs.weight * (fs.lo[k] + t * (fs.hi[k] - fs.lo[k]));
+                }
+                total_weight += fs.weight;
+            }
+        }
+        for a in avg.iter_mut().skip(1) {
+            *a /= total_weight;
+        }
+        avg[0] = x;
+        // Line 11: undo the rotation.
+        points.push(frame.from_frame(&avg));
+        last_emitted_x = Some(x);
+    }
+    Trajectory::new(TrajectoryId(cluster.id.0), points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterId};
+    use traclus_geom::{
+        IdentifiedSegment, Segment2, SegmentDistance, SegmentId, Vector2,
+    };
+
+    fn db_of(segs: &[Segment2]) -> SegmentDatabase<2> {
+        let identified = segs
+            .iter()
+            .enumerate()
+            .map(|(k, s)| IdentifiedSegment::new(SegmentId(k as u32), TrajectoryId(k as u32), *s))
+            .collect();
+        SegmentDatabase::from_segments(identified, SegmentDistance::default())
+    }
+
+    fn cluster_of(n: usize) -> Cluster {
+        Cluster {
+            id: ClusterId(0),
+            members: (0..n as u32).collect(),
+            trajectories: (0..n as u32).map(TrajectoryId).collect(),
+        }
+    }
+
+    #[test]
+    fn average_direction_weighs_longer_vectors_more() {
+        let v = average_direction_vector(&[Vector2::xy(10.0, 0.0), Vector2::xy(0.0, 1.0)]);
+        assert!(v.x() > v.y(), "the long east vector dominates");
+        assert!((v.x() - 5.0).abs() < 1e-12);
+        assert!((v.y() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_direction_of_empty_set_is_zero() {
+        let v: Vector2 = average_direction_vector(&[]);
+        assert_eq!(v, Vector2::zero());
+    }
+
+    #[test]
+    fn parallel_bundle_yields_centerline() {
+        // Five horizontal segments at y = 0..4: the representative must run
+        // along y ≈ 2 (the average) from x=0 to x=10.
+        let segs: Vec<Segment2> = (0..5)
+            .map(|i| Segment2::xy(0.0, i as f64, 10.0, i as f64))
+            .collect();
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(5),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        assert!(rep.points.len() >= 2);
+        for p in &rep.points {
+            assert!((p.y() - 2.0).abs() < 1e-9, "centerline at y=2, got {}", p.y());
+        }
+        let xs: Vec<f64> = rep.points.iter().map(|p| p.x()).collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "monotone along sweep");
+    }
+
+    #[test]
+    fn min_lns_gates_sparse_regions() {
+        // Figure 13's staircase: three overlapping segments in the middle,
+        // single segments at the flanks. With MinLns = 3 only the overlap
+        // region emits points.
+        let segs = vec![
+            Segment2::xy(0.0, 0.0, 6.0, 0.0),
+            Segment2::xy(2.0, 1.0, 8.0, 1.0),
+            Segment2::xy(4.0, 2.0, 10.0, 2.0),
+        ];
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(3),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        for p in &rep.points {
+            assert!(
+                (4.0 - 1e-9..=6.0 + 1e-9).contains(&p.x()),
+                "emitted point {p:?} outside the 3-deep overlap [4, 6]"
+            );
+        }
+        assert!(!rep.points.is_empty(), "the overlap is MinLns deep");
+    }
+
+    #[test]
+    fn smoothing_thins_out_points() {
+        let segs: Vec<Segment2> = (0..6)
+            .map(|i| {
+                let x0 = i as f64 * 0.5;
+                Segment2::xy(x0, i as f64 * 0.1, x0 + 10.0, i as f64 * 0.1)
+            })
+            .collect();
+        let db = db_of(&segs);
+        let dense = representative_trajectory(
+            &db,
+            &cluster_of(6),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        let sparse = representative_trajectory(
+            &db,
+            &cluster_of(6),
+            &RepresentativeConfig::new(3, 2.0),
+        );
+        assert!(sparse.points.len() < dense.points.len());
+        let xs: Vec<f64> = sparse.points.iter().map(|p| p.x()).collect();
+        assert!(
+            xs.windows(2).all(|w| w[1] - w[0] >= 2.0 - 1e-9),
+            "γ enforces the minimum advance: {xs:?}"
+        );
+    }
+
+    #[test]
+    fn too_shallow_cluster_yields_empty_representative() {
+        let segs = vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(20.0, 0.0, 30.0, 0.0), // disjoint X-extents
+        ];
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(2),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        assert!(rep.points.is_empty());
+    }
+
+    #[test]
+    fn diagonal_bundle_follows_average_direction() {
+        // Bundle at 45°: the representative must also run at ≈45°.
+        let segs: Vec<Segment2> = (0..4)
+            .map(|i| {
+                let off = i as f64 * 0.5;
+                Segment2::xy(0.0 + off, 0.0 - off, 10.0 + off, 10.0 - off)
+            })
+            .collect();
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(4),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        assert!(rep.points.len() >= 2);
+        let first = rep.points.first().unwrap();
+        let last = rep.points.last().unwrap();
+        let dir = first.vector_to(last);
+        let angle = dir.angle(&Vector2::xy(1.0, 1.0)).unwrap();
+        assert!(angle < 0.05, "representative runs along the diagonal");
+    }
+
+    #[test]
+    fn anti_parallel_members_do_not_crash() {
+        // Directions cancel exactly; the fallback axis keeps the sweep
+        // defined.
+        let segs = vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(10.0, 1.0, 0.0, 1.0),
+            Segment2::xy(0.0, 2.0, 10.0, 2.0),
+            Segment2::xy(10.0, 3.0, 0.0, 3.0),
+        ];
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(4),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        assert!(rep.points.len() >= 2, "sweep still works on the fallback axis");
+    }
+
+    #[test]
+    fn vertical_member_in_frame_uses_midpoint() {
+        // A member perpendicular to the sweep axis has zero X′ extent; its
+        // contribution falls back to the segment midpoint.
+        let segs = vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(0.0, 1.0, 10.0, 1.0),
+            Segment2::xy(5.0, -2.0, 5.0, 2.0), // vertical
+        ];
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(3),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        for p in &rep.points {
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    fn representative_id_mirrors_cluster_id() {
+        let segs = vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(0.0, 1.0, 10.0, 1.0),
+        ];
+        let db = db_of(&segs);
+        let mut cluster = cluster_of(2);
+        cluster.id = ClusterId(5);
+        let rep = representative_trajectory(&db, &cluster, &RepresentativeConfig::new(2, 0.0));
+        assert_eq!(rep.id, TrajectoryId(5));
+    }
+
+    #[test]
+    fn sweep_respects_figure_13_counts() {
+        // Reconstruction of Figure 13's intent: count transitions happen
+        // exactly at start/end points.
+        let segs = vec![
+            Segment2::xy(0.0, 0.0, 4.0, 0.0),
+            Segment2::xy(1.0, 1.0, 5.0, 1.0),
+            Segment2::xy(2.0, 2.0, 6.0, 2.0),
+            Segment2::xy(3.0, 3.0, 7.0, 3.0),
+        ];
+        let db = db_of(&segs);
+        let rep = representative_trajectory(
+            &db,
+            &cluster_of(4),
+            &RepresentativeConfig::new(3, 0.0),
+        );
+        // 3+ deep only within [2, 5].
+        for p in &rep.points {
+            assert!((2.0 - 1e-9..=5.0 + 1e-9).contains(&p.x()), "{}", p.x());
+        }
+    }
+}

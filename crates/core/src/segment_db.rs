@@ -1,0 +1,403 @@
+//! The segment database `D` of Figure 12 with accelerated ε-neighborhood
+//! queries.
+//!
+//! Holds the identified line segments produced by the partitioning phase,
+//! caches their lengths (the distance function orders operands by length;
+//! Lemma 2), and answers Definition 4 neighborhood queries either by full
+//! scan or through a spatial index with the conservative filter radius
+//! derived in `traclus-index`.
+
+use traclus_geom::{Aabb, IdentifiedSegment, SegmentDistance, Trajectory, TrajectoryId};
+use traclus_index::{filter_radius, GridIndex, RTree, RTreeParams, SpatialIndex};
+
+use crate::partition::{partition_trajectories, PartitionConfig};
+
+/// Which acceleration structure backs ε-neighborhood queries (Lemma 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// Full scan: the O(n²) arm of Lemma 3.
+    Linear,
+    /// Uniform grid hashed on MBRs.
+    Grid,
+    /// STR-bulk-loaded R-tree (the paper's suggestion).
+    #[default]
+    RTree,
+}
+
+enum IndexImpl<const D: usize> {
+    /// Full scan needs no structure: the database iterates all segments.
+    Linear,
+    Grid(GridIndex<D>),
+    RTree(RTree<D>),
+}
+
+/// A built neighborhood index bound to a database snapshot.
+pub struct NeighborIndex<const D: usize> {
+    imp: IndexImpl<D>,
+    /// Expansion radius per unit ε, `√(4/w⊥² + 1/w∥²)`; `None` forces full
+    /// scans (degenerate weights).
+    radius_per_eps: Option<f64>,
+}
+
+/// The segment database: segments + cached geometry + the distance
+/// function all phases share.
+pub struct SegmentDatabase<const D: usize> {
+    segments: Vec<IdentifiedSegment<D>>,
+    lengths: Vec<f64>,
+    bboxes: Vec<Aabb<D>>,
+    distance: SegmentDistance,
+}
+
+impl<const D: usize> SegmentDatabase<D> {
+    /// Builds the database from already-partitioned segments.
+    ///
+    /// Segment ids must be dense (`segments[k].id.0 == k`); the clustering
+    /// algorithm indexes label arrays by id. [`partition_trajectories`]
+    /// produces exactly this layout.
+    pub fn from_segments(segments: Vec<IdentifiedSegment<D>>, distance: SegmentDistance) -> Self {
+        for (k, s) in segments.iter().enumerate() {
+            assert_eq!(
+                s.id.0 as usize, k,
+                "segment ids must be dense and sequential"
+            );
+        }
+        let lengths = segments.iter().map(|s| s.segment.length()).collect();
+        let bboxes = segments.iter().map(|s| s.bounding_box()).collect();
+        Self {
+            segments,
+            lengths,
+            bboxes,
+            distance,
+        }
+    }
+
+    /// Runs the partitioning phase over `trajectories` and builds the
+    /// database from the result (Figure 4, lines 1–3).
+    pub fn from_trajectories(
+        trajectories: &[Trajectory<D>],
+        partition: &PartitionConfig,
+        distance: SegmentDistance,
+    ) -> Self {
+        Self::from_segments(partition_trajectories(partition, trajectories), distance)
+    }
+
+    /// Number of segments (`numln`).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The stored segments, id-ordered.
+    pub fn segments(&self) -> &[IdentifiedSegment<D>] {
+        &self.segments
+    }
+
+    /// One segment by dense id.
+    pub fn segment(&self, id: u32) -> &IdentifiedSegment<D> {
+        &self.segments[id as usize]
+    }
+
+    /// Cached length of a segment.
+    pub fn length(&self, id: u32) -> f64 {
+        self.lengths[id as usize]
+    }
+
+    /// The distance function shared by all phases.
+    pub fn distance_fn(&self) -> &SegmentDistance {
+        &self.distance
+    }
+
+    /// Distance between two stored segments, with the Lemma 2 ordering done
+    /// on cached lengths and the id tie-break (the paper's "internal
+    /// identifier").
+    pub fn distance(&self, a: u32, b: u32) -> f64 {
+        let (i, j) = self.ordered_pair(a, b);
+        self.distance
+            .distance_ordered(&self.segments[i as usize].segment, &self.segments[j as usize].segment)
+    }
+
+    fn ordered_pair(&self, a: u32, b: u32) -> (u32, u32) {
+        let la = self.lengths[a as usize];
+        let lb = self.lengths[b as usize];
+        if la > lb {
+            (a, b)
+        } else if lb > la {
+            (b, a)
+        } else if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Builds a neighborhood index of the requested kind.
+    ///
+    /// `typical_eps` sizes grid cells (any positive value keeps the grid
+    /// correct; a value near the query ε keeps it fast). R-tree and linear
+    /// variants ignore it.
+    pub fn build_index(&self, kind: IndexKind, typical_eps: f64) -> NeighborIndex<D> {
+        let radius_per_eps = filter_radius(1.0, &self.distance.weights);
+        let entries = || {
+            self.segments
+                .iter()
+                .zip(&self.bboxes)
+                .map(|(s, b)| (s.id.0, *b))
+        };
+        let imp = match kind {
+            IndexKind::Linear => IndexImpl::Linear,
+            IndexKind::Grid => {
+                let cell = (typical_eps * radius_per_eps.unwrap_or(1.0)).max(1e-9);
+                IndexImpl::Grid(GridIndex::build(cell, entries()))
+            }
+            IndexKind::RTree => {
+                IndexImpl::RTree(RTree::bulk_load(RTreeParams::default(), entries()))
+            }
+        };
+        NeighborIndex {
+            imp,
+            radius_per_eps,
+        }
+    }
+
+    /// Appends to `out` the ids of the ε-neighborhood `Nε(L)` of segment
+    /// `id` (Definition 4). The segment itself is included —
+    /// `dist(L, L) = 0 ≤ ε` — matching DBSCAN's core-count convention.
+    /// Results are sorted by id for determinism.
+    pub fn neighborhood_into(
+        &self,
+        index: &NeighborIndex<D>,
+        id: u32,
+        eps: f64,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        match (&index.imp, index.radius_per_eps) {
+            (IndexImpl::Linear, _) | (_, None) => {
+                // Full scan: either requested or forced by degenerate
+                // weights (no conservative filter exists).
+                for cand in 0..self.segments.len() as u32 {
+                    if self.distance(id, cand) <= eps {
+                        out.push(cand);
+                    }
+                }
+            }
+            (imp, Some(r)) => {
+                let window = self.bboxes[id as usize].expanded(eps * r);
+                let mut candidates = Vec::new();
+                match imp {
+                    IndexImpl::Grid(g) => g.query_into(&window, &mut candidates),
+                    IndexImpl::RTree(t) => t.query_into(&window, &mut candidates),
+                    IndexImpl::Linear => unreachable!("handled above"),
+                }
+                candidates.sort_unstable();
+                for cand in candidates {
+                    if self.distance(id, cand) <= eps {
+                        out.push(cand);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The ε-neighborhood as a fresh vector.
+    pub fn neighborhood(&self, index: &NeighborIndex<D>, id: u32, eps: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.neighborhood_into(index, id, eps, &mut out);
+        out
+    }
+
+    /// `|Nε(L)|` as a (possibly weighted) cardinality: the plain count when
+    /// `weighted` is false, else the sum of member weights (the Section 4.2
+    /// weighted-trajectory extension).
+    pub fn neighborhood_cardinality(&self, members: &[u32], weighted: bool) -> f64 {
+        if weighted {
+            members
+                .iter()
+                .map(|&m| self.segments[m as usize].weight)
+                .sum()
+        } else {
+            members.len() as f64
+        }
+    }
+
+    /// The trajectory a segment came from (`TR(L)` of Definition 10).
+    pub fn trajectory_of(&self, id: u32) -> TrajectoryId {
+        self.segments[id as usize].trajectory
+    }
+
+    /// Bounding box of the whole database.
+    pub fn bounding_box(&self) -> Aabb<D> {
+        let mut b = Aabb::empty();
+        for bb in &self.bboxes {
+            b.extend(bb);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traclus_geom::{Segment2, SegmentId};
+
+    fn db_from(segs: &[Segment2]) -> SegmentDatabase<2> {
+        let identified = segs
+            .iter()
+            .enumerate()
+            .map(|(k, s)| IdentifiedSegment::new(SegmentId(k as u32), TrajectoryId(k as u32), *s))
+            .collect();
+        SegmentDatabase::from_segments(identified, SegmentDistance::default())
+    }
+
+    fn sample_db() -> SegmentDatabase<2> {
+        // Three parallel neighbours + one far-away outlier.
+        db_from(&[
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(0.0, 1.0, 10.0, 1.0),
+            Segment2::xy(0.0, 2.0, 10.0, 2.0),
+            Segment2::xy(100.0, 100.0, 110.0, 100.0),
+        ])
+    }
+
+    #[test]
+    fn neighborhood_includes_self() {
+        let db = sample_db();
+        let idx = db.build_index(IndexKind::Linear, 1.5);
+        let n = db.neighborhood(&idx, 0, 0.0);
+        assert_eq!(n, vec![0], "dist(L, L) = 0 ⇒ L ∈ Nε(L)");
+    }
+
+    #[test]
+    fn all_index_kinds_agree() {
+        let db = sample_db();
+        for eps in [0.5, 1.5, 3.0, 50.0] {
+            let linear = db.build_index(IndexKind::Linear, eps);
+            let grid = db.build_index(IndexKind::Grid, eps);
+            let rtree = db.build_index(IndexKind::RTree, eps);
+            for id in 0..db.len() as u32 {
+                let a = db.neighborhood(&linear, id, eps);
+                let b = db.neighborhood(&grid, id, eps);
+                let c = db.neighborhood(&rtree, id, eps);
+                assert_eq!(a, b, "grid vs linear at eps={eps}, id={id}");
+                assert_eq!(a, c, "rtree vs linear at eps={eps}, id={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhoods_are_sorted_and_unique() {
+        let db = sample_db();
+        let idx = db.build_index(IndexKind::RTree, 2.0);
+        let n = db.neighborhood(&idx, 1, 2.0);
+        let mut sorted = n.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(n, sorted);
+        assert!(n.contains(&0) && n.contains(&1) && n.contains(&2));
+        assert!(!n.contains(&3), "outlier is no neighbour at eps=2");
+    }
+
+    #[test]
+    fn distance_symmetry_via_cached_ordering() {
+        let db = sample_db();
+        for a in 0..db.len() as u32 {
+            for b in 0..db.len() as u32 {
+                assert!(
+                    (db.distance(a, b) - db.distance(b, a)).abs() < 1e-12,
+                    "symmetry broken for ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cardinality_sums_weights() {
+        let segs = vec![
+            IdentifiedSegment {
+                id: SegmentId(0),
+                trajectory: TrajectoryId(0),
+                segment: Segment2::xy(0.0, 0.0, 1.0, 0.0),
+                weight: 2.5,
+            },
+            IdentifiedSegment {
+                id: SegmentId(1),
+                trajectory: TrajectoryId(1),
+                segment: Segment2::xy(0.0, 0.1, 1.0, 0.1),
+                weight: 0.5,
+            },
+        ];
+        let db = SegmentDatabase::from_segments(segs, SegmentDistance::default());
+        assert_eq!(db.neighborhood_cardinality(&[0, 1], false), 2.0);
+        assert_eq!(db.neighborhood_cardinality(&[0, 1], true), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_rejected() {
+        let segs = vec![IdentifiedSegment::new(
+            SegmentId(5),
+            TrajectoryId(0),
+            Segment2::xy(0.0, 0.0, 1.0, 0.0),
+        )];
+        let _ = SegmentDatabase::from_segments(segs, SegmentDistance::default());
+    }
+
+    #[test]
+    fn zero_parallel_weight_falls_back_to_full_scan_correctly() {
+        // With w∥ = 0 two collinear far-apart segments are at distance 0;
+        // the filter must not prune them.
+        let segs = vec![
+            IdentifiedSegment::new(
+                SegmentId(0),
+                TrajectoryId(0),
+                Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            ),
+            IdentifiedSegment::new(
+                SegmentId(1),
+                TrajectoryId(1),
+                Segment2::xy(500.0, 0.0, 510.0, 0.0),
+            ),
+        ];
+        let dist = SegmentDistance::new(
+            traclus_geom::DistanceWeights::new(1.0, 0.0, 1.0),
+            traclus_geom::AngleMode::Directed,
+        );
+        let db = SegmentDatabase::from_segments(segs, dist);
+        let idx = db.build_index(IndexKind::RTree, 1.0);
+        let n = db.neighborhood(&idx, 0, 0.5);
+        assert_eq!(n, vec![0, 1], "collinear segments are neighbours at w∥=0");
+    }
+
+    #[test]
+    fn from_trajectories_round_trip() {
+        let trajs = vec![
+            Trajectory::new(
+                TrajectoryId(0),
+                vec![
+                    traclus_geom::Point2::xy(0.0, 0.0),
+                    traclus_geom::Point2::xy(50.0, 0.0),
+                    traclus_geom::Point2::xy(50.0, 50.0),
+                ],
+            ),
+            Trajectory::new(
+                TrajectoryId(1),
+                vec![
+                    traclus_geom::Point2::xy(0.0, 5.0),
+                    traclus_geom::Point2::xy(50.0, 5.0),
+                ],
+            ),
+        ];
+        let db = SegmentDatabase::from_trajectories(
+            &trajs,
+            &PartitionConfig::default(),
+            SegmentDistance::default(),
+        );
+        assert!(db.len() >= 3);
+        assert_eq!(db.trajectory_of(0), TrajectoryId(0));
+        assert!(!db.bounding_box().is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! Synthetic animal-movement telemetry.
+//!
+//! Stands in for the Starkey project data of Section 5.1 (radio-telemetry
+//! of elk, deer and cattle; the paper uses Elk1993 — 33 trajectories,
+//! 47 204 points — and Deer1995 — 32 trajectories, 20 065 points; x/y
+//! coordinates). The Starkey enclosure is roughly a 10 km × 10 km area;
+//! we use metres on a 10 000 × 10 000 square.
+//!
+//! The generator reproduces the structural properties the TRACLUS
+//! experiments exercise:
+//!
+//! * **few, very long trajectories** ("trajectories in the animal movement
+//!   data set are much longer than those in the hurricane track data");
+//! * **shared movement corridors** between resource sites — animals travel
+//!   the same paths repeatedly, producing the dense common sub-trajectories
+//!   Figures 21/22 find (13 and 2 clusters respectively);
+//! * **diffuse dwelling** around camps — locally random motion that must
+//!   end up as noise or be absorbed, not invent corridors;
+//! * regions that *look* dense but mix incompatible headings (the paper's
+//!   upper-right Elk1993 region that correctly yields no cluster) arise
+//!   naturally from dwelling areas.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traclus_geom::{Point2, Trajectory, TrajectoryId, Vector2};
+
+use crate::rng_util::normal;
+
+/// A named waypoint network: camps (dwell sites) and corridors
+/// (camp-to-camp polylines all animals share).
+#[derive(Debug, Clone)]
+pub struct Habitat {
+    /// Dwell sites.
+    pub camps: Vec<Point2>,
+    /// Corridors as index pairs into `camps`, each with fixed via points.
+    pub corridors: Vec<Corridor>,
+}
+
+/// A shared path between two camps.
+#[derive(Debug, Clone)]
+pub struct Corridor {
+    /// Index of the origin camp.
+    pub from: usize,
+    /// Index of the destination camp.
+    pub to: usize,
+    /// Interior via points shaping the path.
+    pub via: Vec<Point2>,
+}
+
+impl Habitat {
+    /// The Elk1993 stand-in: eight spread-out camps and a nine-corridor
+    /// web (the paper finds 13 clusters across "most of the dense
+    /// regions"; a directed corridor travelled both ways can yield two
+    /// clusters, so ~9 corridors support a comparable cluster count).
+    pub fn elk() -> Self {
+        let camps = vec![
+            Point2::xy(1_200.0, 1_300.0),
+            Point2::xy(5_300.0, 800.0),
+            Point2::xy(9_000.0, 1_700.0),
+            Point2::xy(9_200.0, 5_600.0),
+            Point2::xy(8_600.0, 9_200.0),
+            Point2::xy(4_700.0, 9_000.0),
+            Point2::xy(900.0, 8_600.0),
+            Point2::xy(4_900.0, 4_900.0),
+        ];
+        let corridors = vec![
+            Corridor {
+                from: 0,
+                to: 1,
+                via: vec![Point2::xy(3_200.0, 700.0)],
+            },
+            Corridor {
+                from: 1,
+                to: 2,
+                via: vec![Point2::xy(7_200.0, 900.0)],
+            },
+            Corridor {
+                from: 2,
+                to: 3,
+                via: vec![Point2::xy(9_500.0, 3_600.0)],
+            },
+            Corridor {
+                from: 3,
+                to: 4,
+                via: vec![Point2::xy(9_300.0, 7_600.0)],
+            },
+            Corridor {
+                from: 4,
+                to: 5,
+                via: vec![Point2::xy(6_600.0, 9_500.0)],
+            },
+            Corridor {
+                from: 5,
+                to: 6,
+                via: vec![Point2::xy(2_700.0, 9_300.0)],
+            },
+            Corridor {
+                from: 6,
+                to: 0,
+                via: vec![Point2::xy(500.0, 5_000.0)],
+            },
+            Corridor {
+                from: 7,
+                to: 1,
+                via: vec![Point2::xy(5_100.0, 2_900.0)],
+            },
+            Corridor {
+                from: 7,
+                to: 5,
+                via: vec![Point2::xy(4_800.0, 7_000.0)],
+            },
+        ];
+        Self { camps, corridors }
+    }
+
+    /// The Deer1995 stand-in: three camps, **two** heavily used corridors
+    /// (the paper finds exactly 2 clusters, "the center region is not so
+    /// dense").
+    pub fn deer() -> Self {
+        let camps = vec![
+            Point2::xy(2_000.0, 2_500.0),
+            Point2::xy(8_000.0, 2_200.0),
+            Point2::xy(5_200.0, 8_000.0),
+        ];
+        let corridors = vec![
+            Corridor {
+                from: 0,
+                to: 1,
+                via: vec![Point2::xy(5_000.0, 1_800.0)],
+            },
+            Corridor {
+                from: 1,
+                to: 2,
+                via: vec![Point2::xy(7_300.0, 5_300.0)],
+            },
+        ];
+        Self { camps, corridors }
+    }
+
+    fn corridor_polyline(&self, c: &Corridor) -> Vec<Point2> {
+        let mut pts = vec![self.camps[c.from]];
+        pts.extend(c.via.iter().copied());
+        pts.push(self.camps[c.to]);
+        pts
+    }
+}
+
+/// Configuration of the telemetry simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnimalConfig {
+    /// Number of animals (trajectories).
+    pub animals: usize,
+    /// Telemetry fixes per animal.
+    pub fixes_per_animal: usize,
+    /// Mean fix-to-fix step while travelling, in metres.
+    pub travel_step: f64,
+    /// Cross-track jitter while travelling (corridor width), metres.
+    pub corridor_sigma: f64,
+    /// Dwell step scale at camps, metres.
+    pub dwell_step: f64,
+    /// Mean number of fixes spent dwelling before the next trip.
+    pub mean_dwell: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnimalConfig {
+    fn default() -> Self {
+        Self {
+            animals: 33,
+            fixes_per_animal: 1_430,
+            travel_step: 180.0,
+            corridor_sigma: 25.0,
+            dwell_step: 20.0,
+            mean_dwell: 15.0,
+            seed: 1993,
+        }
+    }
+}
+
+/// Generates telemetry over a habitat.
+#[derive(Debug, Clone)]
+pub struct AnimalGenerator {
+    habitat: Habitat,
+    config: AnimalConfig,
+}
+
+impl AnimalGenerator {
+    /// Binds a habitat and a configuration.
+    pub fn new(habitat: Habitat, config: AnimalConfig) -> Self {
+        assert!(config.animals > 0 && config.fixes_per_animal > 1);
+        assert!(!habitat.camps.is_empty() && !habitat.corridors.is_empty());
+        Self { habitat, config }
+    }
+
+    /// The Elk1993 stand-in (33 trajectories, ≈47 k points).
+    pub fn elk1993(seed: u64) -> Vec<Trajectory<2>> {
+        Self::new(
+            Habitat::elk(),
+            AnimalConfig {
+                seed,
+                ..AnimalConfig::default()
+            },
+        )
+        .generate()
+    }
+
+    /// The Deer1995 stand-in (32 trajectories, ≈20 k points; deer dwell
+    /// more and travel less, and use only two corridors).
+    pub fn deer1995(seed: u64) -> Vec<Trajectory<2>> {
+        Self::new(
+            Habitat::deer(),
+            AnimalConfig {
+                animals: 32,
+                fixes_per_animal: 627,
+                mean_dwell: 40.0,
+                seed,
+                ..AnimalConfig::default()
+            },
+        )
+        .generate()
+    }
+
+    /// Generates all animals.
+    pub fn generate(&self) -> Vec<Trajectory<2>> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        (0..self.config.animals)
+            .map(|i| {
+                let points = self.one_animal(&mut rng);
+                Trajectory::new(TrajectoryId(i as u32), points)
+            })
+            .collect()
+    }
+
+    fn one_animal(&self, rng: &mut StdRng) -> Vec<Point2> {
+        let cfg = &self.config;
+        // Individual home ranges: each animal beds at its own offset from
+        // every camp (real telemetry shows per-animal bedding sites, not
+        // one shared point — without this, camps become hyper-dense hubs
+        // that density-chain every corridor into one cluster).
+        let home_offsets: Vec<Vector2> = (0..self.habitat.camps.len())
+            .map(|_| Vector2::xy(normal(rng, 0.0, 350.0), normal(rng, 0.0, 350.0)))
+            .collect();
+        let mut camp = rng.gen_range(0..self.habitat.camps.len());
+        let mut pos = self.habitat.camps[camp] + home_offsets[camp];
+        let mut points = Vec::with_capacity(cfg.fixes_per_animal);
+        points.push(pos);
+        while points.len() < cfg.fixes_per_animal {
+            // Dwell at the animal's own bedding site near the camp.
+            let dwell = (normal(rng, cfg.mean_dwell, cfg.mean_dwell * 0.4).max(4.0)) as usize;
+            for _ in 0..dwell {
+                if points.len() >= cfg.fixes_per_animal {
+                    return points;
+                }
+                let home = self.habitat.camps[camp] + home_offsets[camp];
+                // Ornstein–Uhlenbeck-style tether keeps dwellers near camp
+                // (weak pull: the stationary cloud spans a few hundred
+                // metres, like a real bedding/feeding area, so dwell points
+                // do not collapse into an ultra-dense blob).
+                pos = Point2::xy(
+                    pos.x() + 0.02 * (home.x() - pos.x()) + normal(rng, 0.0, cfg.dwell_step),
+                    pos.y() + 0.02 * (home.y() - pos.y()) + normal(rng, 0.0, cfg.dwell_step),
+                );
+                points.push(pos);
+            }
+            // Pick a corridor leaving this camp (either direction).
+            let options: Vec<(usize, bool)> = self
+                .habitat
+                .corridors
+                .iter()
+                .enumerate()
+                .filter_map(|(k, c)| {
+                    if c.from == camp {
+                        Some((k, false))
+                    } else if c.to == camp {
+                        Some((k, true))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if options.is_empty() {
+                // Isolated camp: keep dwelling (config sanity keeps this
+                // from looping forever because dwell always emits fixes).
+                continue;
+            }
+            let (corridor_idx, reversed) = options[rng.gen_range(0..options.len())];
+            let corridor = &self.habitat.corridors[corridor_idx];
+            let mut path = self.habitat.corridor_polyline(corridor);
+            if reversed {
+                path.reverse();
+            }
+            camp = if reversed { corridor.from } else { corridor.to };
+            // Walk the corridor with cross-track jitter.
+            let mut leg = 0usize;
+            while leg + 1 < path.len() {
+                let goal = path[leg + 1];
+                let to_goal = pos.vector_to(&goal);
+                let dist = to_goal.norm();
+                if dist < cfg.travel_step {
+                    leg += 1;
+                    continue;
+                }
+                if points.len() >= cfg.fixes_per_animal {
+                    return points;
+                }
+                let dir = to_goal / dist;
+                let step = normal(rng, cfg.travel_step, cfg.travel_step * 0.2).max(10.0);
+                // Cross-track jitter perpendicular to the heading.
+                let perp = Vector2::xy(-dir.y(), dir.x());
+                let lateral = normal(rng, 0.0, cfg.corridor_sigma);
+                pos = pos + dir * step + perp * lateral;
+                points.push(pos);
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elk_counts_match_paper() {
+        let elk = AnimalGenerator::elk1993(1993);
+        assert_eq!(elk.len(), 33);
+        let total: usize = elk.iter().map(|t| t.len()).sum();
+        assert_eq!(total, 33 * 1_430, "exact fix count per animal");
+        // Paper: 47 204 points over 33 animals ≈ 1 430 each.
+        assert!((total as i64 - 47_204).abs() < 1_000);
+    }
+
+    #[test]
+    fn deer_counts_match_paper() {
+        let deer = AnimalGenerator::deer1995(1995);
+        assert_eq!(deer.len(), 32);
+        let total: usize = deer.iter().map(|t| t.len()).sum();
+        // Paper: 20 065 points.
+        assert!((total as i64 - 20_065).abs() < 1_000, "total {total}");
+    }
+
+    #[test]
+    fn animal_trajectories_are_much_longer_than_hurricanes() {
+        let elk = AnimalGenerator::elk1993(2);
+        let hurricanes = crate::hurricane::HurricaneGenerator::paper_scale(2);
+        let elk_mean = elk.iter().map(|t| t.len()).sum::<usize>() as f64 / elk.len() as f64;
+        let hur_mean = hurricanes.iter().map(|t| t.len()).sum::<usize>() as f64
+            / hurricanes.len() as f64;
+        assert!(
+            elk_mean > 10.0 * hur_mean,
+            "elk {elk_mean} vs hurricanes {hur_mean}"
+        );
+    }
+
+    #[test]
+    fn positions_stay_in_the_enclosure_ballpark() {
+        for t in AnimalGenerator::elk1993(3) {
+            for p in &t.points {
+                assert!(
+                    (-1_500.0..=11_500.0).contains(&p.x())
+                        && (-1_500.0..=11_500.0).contains(&p.y()),
+                    "escaped enclosure: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corridors_are_actually_travelled() {
+        // Count fixes near the elk corridor between camps 0 and 1 (the
+        // southern route): the shared path must be visited by most animals.
+        let habitat = Habitat::elk();
+        let elk = AnimalGenerator::elk1993(4);
+        let mid = Point2::xy(3_200.0, 700.0); // a via point of corridor 0
+        let animals_nearby = elk
+            .iter()
+            .filter(|t| t.points.iter().any(|p| p.distance(&mid) < 600.0))
+            .count();
+        assert!(
+            animals_nearby >= habitat.camps.len(), // ≥ 5 of 33
+            "only {animals_nearby} animals used the southern corridor"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(AnimalGenerator::elk1993(9), AnimalGenerator::elk1993(9));
+        assert_ne!(AnimalGenerator::elk1993(9), AnimalGenerator::elk1993(10));
+    }
+
+    #[test]
+    fn habitat_accessors() {
+        let elk = Habitat::elk();
+        assert_eq!(elk.camps.len(), 8);
+        assert_eq!(elk.corridors.len(), 9);
+        let deer = Habitat::deer();
+        assert_eq!(deer.corridors.len(), 2, "two corridors ⇒ two clusters");
+    }
+}

@@ -1,0 +1,73 @@
+//! Small random-sampling helpers shared by the generators.
+//!
+//! `rand` (the only RNG dependency allowed) does not ship distributions
+//! beyond uniform, so the Gaussian sampler is a hand-rolled Box–Muller.
+
+use rand::Rng;
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * randn(rng)
+}
+
+/// Clamped normal sample (keeps generated physical quantities in-range).
+pub fn normal_clamped(rng: &mut impl Rng, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_roughly_standard_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn clamped_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = normal_clamped(&mut rng, 0.0, 100.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| randn(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..10).map(|_| randn(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

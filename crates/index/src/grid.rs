@@ -1,0 +1,215 @@
+//! Uniform grid index: boxes are hashed into fixed-size cells.
+//!
+//! Simple, cache-friendly, and near-optimal when query radii are known up
+//! front (as they are here: the cell size is tied to the ε filter radius).
+//! An entry is registered in every cell its box overlaps; queries visit the
+//! cells overlapped by the window and deduplicate with a generation stamp.
+
+use std::collections::HashMap;
+
+use traclus_geom::Aabb;
+
+use crate::SpatialIndex;
+
+/// A uniform grid over `D`-dimensional space.
+#[derive(Debug, Clone)]
+pub struct GridIndex<const D: usize> {
+    cell_size: f64,
+    cells: HashMap<[i64; D], Vec<u32>>,
+    /// `boxes[id]` for the final exactness check (`query_into` must not
+    /// return ids whose box misses the window, or the "at most once"
+    /// contract would be broken by cheap over-reporting).
+    boxes: Vec<(u32, Aabb<D>)>,
+    /// Deduplication stamps indexed by position in `boxes`.
+    id_slot: HashMap<u32, usize>,
+}
+
+impl<const D: usize> GridIndex<D> {
+    /// Builds a grid with the given cell size (must be positive and
+    /// finite). A good choice is the ε filter radius: windows then overlap
+    /// only O(3^D) cells.
+    pub fn build(cell_size: f64, entries: impl IntoIterator<Item = (u32, Aabb<D>)>) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "grid cell size must be positive and finite"
+        );
+        let mut grid = Self {
+            cell_size,
+            cells: HashMap::new(),
+            boxes: Vec::new(),
+            id_slot: HashMap::new(),
+        };
+        for (id, bbox) in entries {
+            grid.insert(id, bbox);
+        }
+        grid
+    }
+
+    /// Adds one entry.
+    pub fn insert(&mut self, id: u32, bbox: Aabb<D>) {
+        if bbox.is_empty() {
+            return;
+        }
+        let slot = self.boxes.len();
+        self.boxes.push((id, bbox));
+        self.id_slot.insert(id, slot);
+        let (lo, hi) = self.cell_range(&bbox);
+        for key in CellIter::new(lo, hi) {
+            self.cells.entry(key).or_default().push(id);
+        }
+    }
+
+    /// The cell size the grid was built with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    fn cell_range(&self, bbox: &Aabb<D>) -> ([i64; D], [i64; D]) {
+        let mut lo = [0i64; D];
+        let mut hi = [0i64; D];
+        for k in 0..D {
+            lo[k] = (bbox.min[k] / self.cell_size).floor() as i64;
+            hi[k] = (bbox.max[k] / self.cell_size).floor() as i64;
+        }
+        (lo, hi)
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for GridIndex<D> {
+    fn query_into(&self, window: &Aabb<D>, out: &mut Vec<u32>) {
+        if window.is_empty() || self.boxes.is_empty() {
+            return;
+        }
+        let (lo, hi) = self.cell_range(window);
+        let mut seen: Vec<bool> = vec![false; self.boxes.len()];
+        for key in CellIter::new(lo, hi) {
+            if let Some(ids) = self.cells.get(&key) {
+                for &id in ids {
+                    let slot = self.id_slot[&id];
+                    if !seen[slot] {
+                        seen[slot] = true;
+                        if self.boxes[slot].1.intersects(window) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.boxes.len()
+    }
+}
+
+/// Iterates over the integer lattice `[lo, hi]` in `D` dimensions.
+struct CellIter<const D: usize> {
+    lo: [i64; D],
+    hi: [i64; D],
+    cur: [i64; D],
+    done: bool,
+}
+
+impl<const D: usize> CellIter<D> {
+    fn new(lo: [i64; D], hi: [i64; D]) -> Self {
+        let done = (0..D).any(|k| lo[k] > hi[k]);
+        Self {
+            lo,
+            hi,
+            cur: lo,
+            done,
+        }
+    }
+}
+
+impl<const D: usize> Iterator for CellIter<D> {
+    type Item = [i64; D];
+
+    fn next(&mut self) -> Option<[i64; D]> {
+        if self.done {
+            return None;
+        }
+        let out = self.cur;
+        // Odometer increment.
+        for k in (0..D).rev() {
+            if self.cur[k] < self.hi[k] {
+                self.cur[k] += 1;
+                return Some(out);
+            }
+            self.cur[k] = self.lo[k];
+        }
+        self.done = true;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScanIndex;
+
+    fn aabb2(minx: f64, miny: f64, maxx: f64, maxy: f64) -> Aabb<2> {
+        Aabb::new([minx, miny], [maxx, maxy])
+    }
+
+    #[test]
+    fn finds_entries_across_cells() {
+        // A box spanning several cells must be found from any of them.
+        let grid = GridIndex::build(1.0, vec![(42, aabb2(0.5, 0.5, 3.5, 0.6))]);
+        for x in [0.5, 1.5, 2.5, 3.4] {
+            let hits = grid.query(&aabb2(x, 0.55, x + 0.01, 0.56));
+            assert_eq!(hits, vec![42], "query at x={x}");
+        }
+        assert!(grid.query(&aabb2(5.0, 5.0, 6.0, 6.0)).is_empty());
+    }
+
+    #[test]
+    fn no_duplicates_for_multi_cell_entries() {
+        let grid = GridIndex::build(1.0, vec![(7, aabb2(0.0, 0.0, 5.0, 5.0))]);
+        let hits = grid.query(&aabb2(0.0, 0.0, 5.0, 5.0));
+        assert_eq!(hits, vec![7], "entry spans 36 cells but reported once");
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let grid = GridIndex::build(2.0, vec![(1, aabb2(-3.5, -3.5, -2.5, -2.5))]);
+        assert_eq!(grid.query(&aabb2(-3.0, -3.0, -2.9, -2.9)), vec![1]);
+        assert!(grid.query(&aabb2(2.0, 2.0, 3.0, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_a_lattice() {
+        let mut entries = Vec::new();
+        let mut id = 0;
+        for i in 0..10 {
+            for j in 0..10 {
+                let x = i as f64 * 0.7 - 3.0;
+                let y = j as f64 * 1.3 - 6.0;
+                entries.push((id, aabb2(x, y, x + 0.9, y + 0.4)));
+                id += 1;
+            }
+        }
+        let grid = GridIndex::build(1.5, entries.clone());
+        let linear = LinearScanIndex::build(entries);
+        for &(wx, wy, s) in &[(0.0, 0.0, 1.0), (-2.0, -5.0, 2.5), (3.0, 4.0, 0.1)] {
+            let window = aabb2(wx, wy, wx + s, wy + s);
+            let mut a = grid.query(&window);
+            let mut b = linear.query(&window);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {window:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_rejected() {
+        let _ = GridIndex::<2>::build(0.0, vec![]);
+    }
+
+    #[test]
+    fn empty_window_returns_nothing() {
+        let grid = GridIndex::build(1.0, vec![(0, aabb2(0.0, 0.0, 1.0, 1.0))]);
+        assert!(grid.query(&Aabb::empty()).is_empty());
+    }
+}

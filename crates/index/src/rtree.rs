@@ -1,0 +1,524 @@
+//! An R-tree built from scratch: STR (sort-tile-recursive) bulk loading
+//! plus Guttman-style insertion with quadratic split.
+//!
+//! The paper's Lemma 3 invokes "an appropriate index such as the R-tree
+//! [10]" (Guttman, SIGMOD 1984) to bring ε-neighborhood queries from O(n)
+//! to O(log n). Bulk loading handles the common TRACLUS flow — partition
+//! all trajectories, then index all segments at once — while insertion
+//! supports incremental use.
+
+use traclus_geom::Aabb;
+
+use crate::SpatialIndex;
+
+/// R-tree fan-out parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeParams {
+    /// Maximum entries per node before a split (Guttman's `M`).
+    pub max_entries: usize,
+    /// Minimum entries per node after a split (Guttman's `m ≤ M/2`).
+    pub min_entries: usize,
+}
+
+impl Default for RTreeParams {
+    fn default() -> Self {
+        Self {
+            max_entries: 16,
+            min_entries: 6,
+        }
+    }
+}
+
+impl RTreeParams {
+    /// Validates the Guttman constraints `2 ≤ m ≤ M/2`.
+    pub fn validated(self) -> Self {
+        assert!(self.max_entries >= 4, "R-tree needs max_entries ≥ 4");
+        assert!(
+            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
+            "R-tree needs 2 ≤ min_entries ≤ max_entries/2"
+        );
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node<const D: usize> {
+    Leaf {
+        entries: Vec<(u32, Aabb<D>)>,
+    },
+    Internal {
+        children: Vec<(Aabb<D>, Box<Node<D>>)>,
+    },
+}
+
+impl<const D: usize> Node<D> {
+    fn bbox(&self) -> Aabb<D> {
+        let mut b = Aabb::empty();
+        match self {
+            Node::Leaf { entries } => {
+                for (_, e) in entries {
+                    b.extend(e);
+                }
+            }
+            Node::Internal { children } => {
+                for (cb, _) in children {
+                    b.extend(cb);
+                }
+            }
+        }
+        b
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => entries.len(),
+            Node::Internal { children } => children.iter().map(|(_, c)| c.count()).sum(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children } => {
+                1 + children.first().map_or(0, |(_, c)| c.depth())
+            }
+        }
+    }
+
+    fn query_into(&self, window: &Aabb<D>, out: &mut Vec<u32>) {
+        match self {
+            Node::Leaf { entries } => {
+                for (id, b) in entries {
+                    if b.intersects(window) {
+                        out.push(*id);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for (b, child) in children {
+                    if b.intersects(window) {
+                        child.query_into(window, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An R-tree over id-tagged boxes.
+#[derive(Debug, Clone)]
+pub struct RTree<const D: usize> {
+    params: RTreeParams,
+    root: Node<D>,
+    len: usize,
+}
+
+impl<const D: usize> Default for RTree<D> {
+    fn default() -> Self {
+        Self::new(RTreeParams::default())
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// An empty tree with the given parameters.
+    pub fn new(params: RTreeParams) -> Self {
+        Self {
+            params: params.validated(),
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Bulk-loads with the STR (sort-tile-recursive) algorithm: full leaves,
+    /// near-minimal overlap, O(n log n) build.
+    pub fn bulk_load(
+        params: RTreeParams,
+        entries: impl IntoIterator<Item = (u32, Aabb<D>)>,
+    ) -> Self {
+        let params = params.validated();
+        let mut items: Vec<(u32, Aabb<D>)> = entries.into_iter().collect();
+        let len = items.len();
+        if items.is_empty() {
+            return Self::new(params);
+        }
+        // Tile recursively over dimensions, then chunk into leaves.
+        str_sort(&mut items, 0, params.max_entries);
+        let mut level: Vec<Node<D>> = items
+            .chunks(params.max_entries)
+            .map(|chunk| Node::Leaf {
+                entries: chunk.to_vec(),
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut tagged: Vec<(Aabb<D>, Node<D>)> =
+                level.into_iter().map(|n| (n.bbox(), n)).collect();
+            str_sort_nodes(&mut tagged, 0, params.max_entries);
+            level = tagged
+                .chunks_mut(params.max_entries)
+                .map(|chunk| Node::Internal {
+                    children: chunk
+                        .iter_mut()
+                        .map(|(b, n)| {
+                            (
+                                *b,
+                                Box::new(std::mem::replace(
+                                    n,
+                                    Node::Leaf {
+                                        entries: Vec::new(),
+                                    },
+                                )),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect();
+        }
+        Self {
+            params,
+            root: level.pop().expect("non-empty level"),
+            len,
+        }
+    }
+
+    /// Inserts one entry (Guttman: choose-leaf by least enlargement,
+    /// quadratic split on overflow).
+    pub fn insert(&mut self, id: u32, bbox: Aabb<D>) {
+        self.len += 1;
+        if let Some((left, right)) = insert_rec(&mut self.root, id, &bbox, &self.params) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            drop(old_root); // fully replaced by left/right below
+            self.root = Node::Internal {
+                children: vec![(left.bbox(), Box::new(left)), (right.bbox(), Box::new(right))],
+            };
+        }
+    }
+
+    /// Tree height (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Verifies structural invariants (used by tests): entry counts, bbox
+    /// containment, and uniform leaf depth.
+    pub fn check_invariants(&self) {
+        fn walk<const D: usize>(node: &Node<D>, depth: usize, leaf_depth: &mut Option<usize>) {
+            match node {
+                Node::Leaf { .. } => match leaf_depth {
+                    None => *leaf_depth = Some(depth),
+                    Some(d) => assert_eq!(*d, depth, "leaves at different depths"),
+                },
+                Node::Internal { children } => {
+                    assert!(!children.is_empty(), "empty internal node");
+                    for (b, child) in children {
+                        let actual = child.bbox();
+                        assert!(
+                            b.contains(&actual),
+                            "child bbox {actual:?} escapes parent entry {b:?}"
+                        );
+                        walk(child, depth + 1, leaf_depth);
+                    }
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        walk(&self.root, 0, &mut leaf_depth);
+        assert_eq!(self.root.count(), self.len, "entry count mismatch");
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for RTree<D> {
+    fn query_into(&self, window: &Aabb<D>, out: &mut Vec<u32>) {
+        if window.is_empty() {
+            return;
+        }
+        self.root.query_into(window, out);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Recursive STR tiling of raw entries: sort by the centre of dimension
+/// `dim`, slice into `⌈n/slab⌉`-sized runs, recurse on the next dimension.
+fn str_sort<const D: usize>(items: &mut [(u32, Aabb<D>)], dim: usize, node_cap: usize) {
+    if dim >= D || items.len() <= node_cap {
+        return;
+    }
+    items.sort_by(|a, b| {
+        let ca = a.1.center().coords[dim];
+        let cb = b.1.center().coords[dim];
+        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let n_nodes = items.len().div_ceil(node_cap);
+    let remaining_dims = D - dim;
+    let slices = (n_nodes as f64)
+        .powf(1.0 / remaining_dims as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let slab = items.len().div_ceil(slices);
+    for chunk in items.chunks_mut(slab.max(1)) {
+        str_sort(chunk, dim + 1, node_cap);
+    }
+}
+
+fn str_sort_nodes<const D: usize>(
+    items: &mut [(Aabb<D>, Node<D>)],
+    dim: usize,
+    node_cap: usize,
+) {
+    if dim >= D || items.len() <= node_cap {
+        return;
+    }
+    items.sort_by(|a, b| {
+        let ca = a.0.center().coords[dim];
+        let cb = b.0.center().coords[dim];
+        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let n_nodes = items.len().div_ceil(node_cap);
+    let remaining_dims = D - dim;
+    let slices = (n_nodes as f64)
+        .powf(1.0 / remaining_dims as f64)
+        .ceil()
+        .max(1.0) as usize;
+    let slab = items.len().div_ceil(slices);
+    for chunk in items.chunks_mut(slab.max(1)) {
+        str_sort_nodes(chunk, dim + 1, node_cap);
+    }
+}
+
+/// Recursive insertion; returns `Some((left, right))` when the node split.
+fn insert_rec<const D: usize>(
+    node: &mut Node<D>,
+    id: u32,
+    bbox: &Aabb<D>,
+    params: &RTreeParams,
+) -> Option<(Node<D>, Node<D>)> {
+    match node {
+        Node::Leaf { entries } => {
+            entries.push((id, *bbox));
+            if entries.len() > params.max_entries {
+                let (a, b) = quadratic_split(std::mem::take(entries), params, |e| e.1);
+                Some((Node::Leaf { entries: a }, Node::Leaf { entries: b }))
+            } else {
+                None
+            }
+        }
+        Node::Internal { children } => {
+            // Choose the child whose bbox needs least enlargement
+            // (ties: smaller volume).
+            let best = (0..children.len())
+                .min_by(|&i, &j| {
+                    let ei = children[i].0.enlargement(bbox);
+                    let ej = children[j].0.enlargement(bbox);
+                    ei.partial_cmp(&ej)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| {
+                            children[i]
+                                .0
+                                .volume()
+                                .partial_cmp(&children[j].0.volume())
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                })
+                .expect("internal node has children");
+            let split = insert_rec(&mut children[best].1, id, bbox, params);
+            children[best].0 = children[best].1.bbox();
+            if let Some((l, r)) = split {
+                children[best] = (l.bbox(), Box::new(l));
+                children.push((r.bbox(), Box::new(r)));
+                if children.len() > params.max_entries {
+                    let (a, b) = quadratic_split(std::mem::take(children), params, |e| e.0);
+                    return Some((
+                        Node::Internal { children: a },
+                        Node::Internal { children: b },
+                    ));
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Guttman's quadratic split: seed with the pair wasting the most area,
+/// then assign each remaining entry to the group needing least enlargement,
+/// honouring the min-entries floor.
+fn quadratic_split<T, const D: usize>(
+    mut entries: Vec<T>,
+    params: &RTreeParams,
+    bbox_of: impl Fn(&T) -> Aabb<D>,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(entries.len() >= 2);
+    // Pick seeds.
+    let (mut si, mut sj, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let bi = bbox_of(&entries[i]);
+            let bj = bbox_of(&entries[j]);
+            let waste = bi.union(&bj).volume() - bi.volume() - bj.volume();
+            if waste > worst {
+                worst = waste;
+                si = i;
+                sj = j;
+            }
+        }
+    }
+    // Remove the later index first so the earlier stays valid.
+    let (hi, lo) = if si > sj { (si, sj) } else { (sj, si) };
+    let seed_b = entries.swap_remove(hi);
+    let seed_a = entries.swap_remove(lo);
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut bbox_a = bbox_of(&group_a[0]);
+    let mut bbox_b = bbox_of(&group_b[0]);
+
+    while let Some(item) = entries.pop() {
+        let remaining = entries.len();
+        // Force-assign when a group must take everything left to reach m.
+        if group_a.len() + remaining < params.min_entries {
+            bbox_a.extend(&bbox_of(&item));
+            group_a.push(item);
+            continue;
+        }
+        if group_b.len() + remaining < params.min_entries {
+            bbox_b.extend(&bbox_of(&item));
+            group_b.push(item);
+            continue;
+        }
+        let ib = bbox_of(&item);
+        let ea = bbox_a.enlargement(&ib);
+        let eb = bbox_b.enlargement(&ib);
+        if ea < eb || (ea == eb && group_a.len() <= group_b.len()) {
+            bbox_a.extend(&ib);
+            group_a.push(item);
+        } else {
+            bbox_b.extend(&ib);
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearScanIndex;
+
+    fn aabb2(minx: f64, miny: f64, maxx: f64, maxy: f64) -> Aabb<2> {
+        Aabb::new([minx, miny], [maxx, maxy])
+    }
+
+    fn lattice(n: usize) -> Vec<(u32, Aabb<2>)> {
+        let mut out = Vec::new();
+        let side = (n as f64).sqrt().ceil() as usize;
+        for i in 0..n {
+            let x = (i % side) as f64 * 2.0;
+            let y = (i / side) as f64 * 2.0;
+            out.push((i as u32, aabb2(x, y, x + 1.2, y + 0.8)));
+        }
+        out
+    }
+
+    #[test]
+    fn bulk_load_invariants_and_queries() {
+        let entries = lattice(500);
+        let tree = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        tree.check_invariants();
+        assert_eq!(tree.len(), 500);
+        assert!(tree.depth() >= 2, "500 entries cannot fit one leaf");
+
+        let linear = LinearScanIndex::build(entries);
+        for &(x, y, s) in &[(0.0, 0.0, 3.0), (10.0, 10.0, 5.0), (40.0, 0.0, 2.0)] {
+            let w = aabb2(x, y, x + s, y + s);
+            let mut a = tree.query(&w);
+            let mut b = linear.query(&w);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_linear_scan() {
+        let entries = lattice(300);
+        let mut tree = RTree::new(RTreeParams::default());
+        let mut linear = LinearScanIndex::default();
+        for (id, b) in entries {
+            tree.insert(id, b);
+            linear.insert(id, b);
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), 300);
+        for &(x, y, s) in &[(0.0, 0.0, 100.0), (5.0, 5.0, 0.5), (31.0, 31.0, 4.0)] {
+            let w = aabb2(x, y, x + s, y + s);
+            let mut a = tree.query(&w);
+            let mut b = linear.query(&w);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries_nothing() {
+        let tree: RTree<2> = RTree::default();
+        assert!(tree.is_empty());
+        assert!(tree.query(&aabb2(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn single_entry() {
+        let tree = RTree::bulk_load(RTreeParams::default(), vec![(9, aabb2(0.0, 0.0, 1.0, 1.0))]);
+        tree.check_invariants();
+        assert_eq!(tree.query(&aabb2(0.5, 0.5, 0.6, 0.6)), vec![9]);
+        assert!(tree.query(&aabb2(2.0, 2.0, 3.0, 3.0)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_boxes_are_all_reported() {
+        let same = aabb2(1.0, 1.0, 2.0, 2.0);
+        let entries: Vec<_> = (0..50).map(|i| (i, same)).collect();
+        let tree = RTree::bulk_load(RTreeParams::default(), entries);
+        tree.check_invariants();
+        let mut hits = tree.query(&aabb2(1.5, 1.5, 1.6, 1.6));
+        hits.sort_unstable();
+        assert_eq!(hits, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_window_outside_universe() {
+        let tree = RTree::bulk_load(RTreeParams::default(), lattice(64));
+        assert!(tree.query(&aabb2(-100.0, -100.0, -99.0, -99.0)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn invalid_params_rejected() {
+        let _ = RTree::<2>::new(RTreeParams {
+            max_entries: 8,
+            min_entries: 7,
+        });
+    }
+
+    #[test]
+    fn mixed_bulk_and_insert() {
+        let mut tree = RTree::bulk_load(RTreeParams::default(), lattice(128));
+        for i in 0..64u32 {
+            let x = -10.0 - i as f64;
+            tree.insert(1000 + i, aabb2(x, 0.0, x + 0.5, 0.5));
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), 192);
+        let hits = tree.query(&aabb2(-12.0, 0.0, -11.0, 1.0));
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|&id| id >= 1000));
+    }
+}

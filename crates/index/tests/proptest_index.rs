@@ -1,0 +1,79 @@
+//! Property-based tests: every index implementation must agree with the
+//! linear-scan ground truth on arbitrary box sets and windows, under both
+//! bulk loading and incremental insertion.
+
+use proptest::prelude::*;
+use traclus_index::{GridIndex, LinearScanIndex, RTree, RTreeParams, SpatialIndex};
+use traclus_geom::Aabb;
+
+prop_compose! {
+    fn bbox()(x in -100.0..100.0f64, y in -100.0..100.0f64,
+              w in 0.0..20.0f64, h in 0.0..20.0f64) -> Aabb<2> {
+        Aabb::new([x, y], [x + w, y + h])
+    }
+}
+
+fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #[test]
+    fn rtree_bulk_load_matches_linear(
+        boxes in prop::collection::vec(bbox(), 0..80),
+        window in bbox(),
+    ) {
+        let entries: Vec<(u32, Aabb<2>)> =
+            boxes.into_iter().enumerate().map(|(i, b)| (i as u32, b)).collect();
+        let tree = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        tree.check_invariants();
+        let linear = LinearScanIndex::build(entries);
+        prop_assert_eq!(sorted(tree.query(&window)), sorted(linear.query(&window)));
+    }
+
+    #[test]
+    fn rtree_incremental_matches_linear(
+        boxes in prop::collection::vec(bbox(), 1..60),
+        window in bbox(),
+    ) {
+        let mut tree = RTree::new(RTreeParams::default());
+        let mut linear = LinearScanIndex::default();
+        for (i, b) in boxes.into_iter().enumerate() {
+            tree.insert(i as u32, b);
+            linear.insert(i as u32, b);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(sorted(tree.query(&window)), sorted(linear.query(&window)));
+    }
+
+    #[test]
+    fn grid_matches_linear(
+        boxes in prop::collection::vec(bbox(), 0..80),
+        window in bbox(),
+        cell in 0.5..40.0f64,
+    ) {
+        let entries: Vec<(u32, Aabb<2>)> =
+            boxes.into_iter().enumerate().map(|(i, b)| (i as u32, b)).collect();
+        let grid = GridIndex::build(cell, entries.clone());
+        let linear = LinearScanIndex::build(entries);
+        prop_assert_eq!(sorted(grid.query(&window)), sorted(linear.query(&window)));
+    }
+
+    #[test]
+    fn query_results_are_unique(
+        boxes in prop::collection::vec(bbox(), 0..60),
+        window in bbox(),
+    ) {
+        let entries: Vec<(u32, Aabb<2>)> =
+            boxes.into_iter().enumerate().map(|(i, b)| (i as u32, b)).collect();
+        let grid = GridIndex::build(5.0, entries.clone());
+        let tree = RTree::bulk_load(RTreeParams::default(), entries);
+        for result in [grid.query(&window), tree.query(&window)] {
+            let mut deduped = result.clone();
+            deduped.sort_unstable();
+            deduped.dedup();
+            prop_assert_eq!(result.len(), deduped.len(), "duplicate ids reported");
+        }
+    }
+}

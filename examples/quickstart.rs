@@ -1,0 +1,63 @@
+//! Quickstart: cluster a handful of trajectories sharing a corridor and
+//! print the discovered common sub-trajectory.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use traclus::prelude::*;
+
+fn main() {
+    // Eight trajectories: all travel the same west→east corridor, then
+    // half turn north and half turn south (the paper's Figure 1 situation).
+    let trajectories: Vec<Trajectory2> = (0..8)
+        .map(|i| {
+            let offset = i as f64 * 0.4;
+            let turn = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let mut points = Vec::new();
+            for k in 0..30 {
+                points.push(Point2::xy(k as f64 * 4.0, offset));
+            }
+            for k in 1..15 {
+                points.push(Point2::xy(116.0 + k as f64 * 3.0, offset + turn * k as f64 * 4.0));
+            }
+            Trajectory::new(TrajectoryId(i), points)
+        })
+        .collect();
+
+    // Cluster with explicit parameters (see the parameter_selection example
+    // for the entropy heuristic that estimates these).
+    let config = TraclusConfig {
+        eps: 8.0,
+        min_lns: 4,
+        ..TraclusConfig::default()
+    };
+    let outcome = Traclus::new(config).run(&trajectories);
+
+    println!(
+        "{} trajectories -> {} segments -> {} clusters ({} segments noise)",
+        trajectories.len(),
+        outcome.database.len(),
+        outcome.clusters.len(),
+        outcome.clustering.noise().len(),
+    );
+    for cluster in &outcome.clusters {
+        println!(
+            "\ncluster {}: {} segments from {} trajectories",
+            cluster.cluster.id,
+            cluster.members.len(),
+            cluster.trajectory_cardinality(),
+        );
+        let rep = &cluster.representative;
+        let path: Vec<String> = rep
+            .points
+            .iter()
+            .map(|p| format!("({:.1}, {:.1})", p.x(), p.y()))
+            .collect();
+        println!("  representative trajectory: {}", path.join(" -> "));
+    }
+    assert!(
+        !outcome.clusters.is_empty(),
+        "the shared corridor must be discovered"
+    );
+}

@@ -1,0 +1,80 @@
+//! Randomised cross-checks: every index kind must produce identical
+//! ε-neighborhoods and identical clusterings — the filter-and-refine
+//! scheme is an optimisation, never a semantic change.
+
+use proptest::prelude::*;
+use traclus::core::{
+    ClusterConfig, IndexKind, LineSegmentClustering, SegmentDatabase,
+};
+use traclus::geom::{
+    IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId,
+};
+
+fn db_from(raw: Vec<(f64, f64, f64, f64)>) -> SegmentDatabase<2> {
+    let segments: Vec<IdentifiedSegment<2>> = raw
+        .into_iter()
+        .enumerate()
+        .map(|(k, (x1, y1, x2, y2))| {
+            IdentifiedSegment::new(
+                SegmentId(k as u32),
+                TrajectoryId((k % 7) as u32),
+                Segment2::xy(x1, y1, x2, y2),
+            )
+        })
+        .collect();
+    SegmentDatabase::from_segments(segments, SegmentDistance::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn neighborhoods_agree_across_indexes(
+        raw in prop::collection::vec(
+            (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64),
+            1..60,
+        ),
+        eps in 0.1..30.0f64,
+    ) {
+        let db = db_from(raw);
+        let linear = db.build_index(IndexKind::Linear, eps);
+        let grid = db.build_index(IndexKind::Grid, eps);
+        let rtree = db.build_index(IndexKind::RTree, eps);
+        for id in 0..db.len() as u32 {
+            let a = db.neighborhood(&linear, id, eps);
+            let b = db.neighborhood(&grid, id, eps);
+            let c = db.neighborhood(&rtree, id, eps);
+            prop_assert_eq!(&a, &b, "grid mismatch at id {} eps {}", id, eps);
+            prop_assert_eq!(&a, &c, "rtree mismatch at id {} eps {}", id, eps);
+            prop_assert!(a.contains(&id), "Definition 4: L ∈ Nε(L)");
+        }
+    }
+
+    #[test]
+    fn clusterings_agree_across_indexes(
+        raw in prop::collection::vec(
+            (-30.0..30.0f64, -30.0..30.0f64, -30.0..30.0f64, -30.0..30.0f64),
+            1..50,
+        ),
+        eps in 0.5..20.0f64,
+        min_lns in 2usize..6,
+    ) {
+        let db = db_from(raw);
+        let mut outcomes = Vec::new();
+        for kind in [IndexKind::Linear, IndexKind::Grid, IndexKind::RTree] {
+            outcomes.push(
+                LineSegmentClustering::new(
+                    &db,
+                    ClusterConfig {
+                        index: kind,
+                        min_trajectories: Some(2),
+                        ..ClusterConfig::new(eps, min_lns)
+                    },
+                )
+                .run(),
+            );
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&outcomes[0], &outcomes[2]);
+    }
+}

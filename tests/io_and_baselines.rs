@@ -1,0 +1,165 @@
+//! Integration: dataset IO round-trips feed the pipeline unchanged, and
+//! the baseline algorithms interoperate with the same trajectory types.
+
+use std::io::Cursor;
+
+use traclus::baselines::{
+    cluster_count, dbscan_points, fit_regression_mixture, kmeans_trajectories, optics_segments,
+    KMeansConfig, RegressionMixtureConfig,
+};
+use traclus::core::{IndexKind, SegmentDatabase};
+use traclus::data::{generate_scene, read_csv, write_csv, SceneConfig};
+use traclus::prelude::*;
+
+#[test]
+fn csv_round_trip_preserves_clustering() {
+    let scene = generate_scene(&SceneConfig {
+        per_backbone: 10,
+        seed: 31,
+        ..SceneConfig::default()
+    });
+    let config = TraclusConfig {
+        eps: 7.0,
+        min_lns: 5,
+        ..TraclusConfig::default()
+    };
+    let direct = Traclus::new(config).run(&scene.trajectories);
+
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &scene.trajectories).expect("serialise");
+    let reloaded = read_csv(Cursor::new(buf)).expect("parse");
+    assert_eq!(reloaded, scene.trajectories);
+    let via_csv = Traclus::new(config).run(&reloaded);
+    assert_eq!(direct.clustering, via_csv.clustering);
+}
+
+#[test]
+fn best_track_parser_feeds_the_pipeline() {
+    // A miniature best-track file with three storms sharing a westward leg.
+    let mut text = String::new();
+    for storm in 0..6 {
+        text.push_str(&format!("STORM SYNTH{storm} 2000\n"));
+        for k in 0..12 {
+            let lat = 12.0 + storm as f64 * 0.25 + k as f64 * 0.05;
+            let lon = -30.0 - k as f64 * 1.2;
+            text.push_str(&format!("{lat:.2} {lon:.2} 65 990\n"));
+        }
+    }
+    let storms = traclus::data::parse_best_track(&text).expect("parse best track");
+    assert_eq!(storms.len(), 6);
+    let outcome = Traclus::new(TraclusConfig {
+        eps: 3.0,
+        min_lns: 4,
+        ..TraclusConfig::default()
+    })
+    .run(&storms);
+    assert_eq!(
+        outcome.clusters.len(),
+        1,
+        "six parallel westward storms form one corridor cluster"
+    );
+}
+
+#[test]
+fn baselines_run_on_generated_scenes() {
+    let scene = generate_scene(&SceneConfig {
+        per_backbone: 8,
+        noise_fraction: 0.1,
+        seed: 77,
+        ..SceneConfig::default()
+    });
+    // Regression mixture and k-means accept the same Trajectory type.
+    let em = fit_regression_mixture(
+        &scene.trajectories,
+        &RegressionMixtureConfig {
+            components: 4,
+            max_iterations: 20,
+            ..RegressionMixtureConfig::default()
+        },
+    );
+    assert_eq!(em.assignments.len(), scene.trajectories.len());
+    let km = kmeans_trajectories(
+        &scene.trajectories,
+        &KMeansConfig {
+            k: 4,
+            ..KMeansConfig::default()
+        },
+    );
+    assert_eq!(km.assignments.len(), scene.trajectories.len());
+
+    // Point DBSCAN over the raw fixes finds dense structure.
+    let points: Vec<Point2> = scene
+        .trajectories
+        .iter()
+        .flat_map(|t| t.points.iter().copied())
+        .collect();
+    let labels = dbscan_points(&points, 5.0, 8);
+    assert!(cluster_count(&labels) >= 1);
+
+    // OPTICS over the partitioned segments completes and covers all ids.
+    let config = TraclusConfig::default();
+    let db = SegmentDatabase::from_trajectories(
+        &scene.trajectories,
+        &config.partition,
+        config.distance,
+    );
+    let index = db.build_index(IndexKind::RTree, 7.0);
+    let optics = optics_segments(&db, &index, 7.0, 5);
+    assert_eq!(optics.ordering.len(), db.len());
+}
+
+#[test]
+fn whole_trajectory_baselines_vs_traclus_on_fan_scene() {
+    // The quantified Figure 1 story used by the `gaffney` experiment,
+    // asserted as a regression test.
+    let headings = [(1.0f64, 1.0f64), (1.0, 0.5), (1.0, 0.0), (1.0, -0.5), (1.0, -1.0)];
+    let mut trajectories = Vec::new();
+    let mut id = 0u32;
+    for &(dx, dy) in &headings {
+        for j in 0..4 {
+            let offset = id as f64 * 0.4 + j as f64 * 0.05;
+            let mut points: Vec<Point2> =
+                (0..30).map(|k| Point2::xy(k as f64 * 4.0, offset)).collect();
+            for k in 1..16 {
+                let t = k as f64 * 4.0;
+                points.push(Point2::xy(116.0 + dx * t, offset + dy * t));
+            }
+            trajectories.push(Trajectory::new(TrajectoryId(id), points));
+            id += 1;
+        }
+    }
+    let outcome = Traclus::new(TraclusConfig {
+        eps: 10.0,
+        min_lns: 6,
+        ..TraclusConfig::default()
+    })
+    .run(&trajectories);
+    assert!(
+        outcome
+            .clusters
+            .iter()
+            .any(|c| c.trajectory_cardinality() >= 15),
+        "TRACLUS finds a cluster spanning (nearly) all trajectories: {:?}",
+        outcome
+            .clusters
+            .iter()
+            .map(|c| c.trajectory_cardinality())
+            .collect::<Vec<_>>()
+    );
+    let em = fit_regression_mixture(
+        &trajectories,
+        &RegressionMixtureConfig {
+            components: 2,
+            degree: 2,
+            ..RegressionMixtureConfig::default()
+        },
+    );
+    let mut counts = [0usize; 2];
+    for &a in &em.assignments {
+        counts[a] += 1;
+    }
+    assert!(
+        counts[0] > 0 && counts[1] > 0,
+        "whole-trajectory EM splits the fan; neither component isolates the corridor"
+    );
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the whole stack: distance-function axioms
+//! (Lemma 2 and the design invariants of Section 3.2), the index filter
+//! bound, and partitioning invariants.
+
+use proptest::prelude::*;
+use traclus::core::{approximate_partition, optimal_partition, PartitionConfig};
+use traclus::geom::{
+    lehmer_mean_2, DistanceWeights, Point2, Segment2, SegmentDistance, Vector2,
+};
+use traclus::index::filter_radius;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -100.0..100.0f64
+}
+
+prop_compose! {
+    fn segment()(x1 in coord(), y1 in coord(), x2 in coord(), y2 in coord()) -> Segment2 {
+        Segment2::xy(x1, y1, x2, y2)
+    }
+}
+
+prop_compose! {
+    fn polyline(max_len: usize)(
+        points in prop::collection::vec((coord(), coord()), 2..max_len)
+    ) -> Vec<Point2> {
+        points.into_iter().map(|(x, y)| Point2::xy(x, y)).collect()
+    }
+}
+
+proptest! {
+    #[test]
+    fn distance_is_symmetric(a in segment(), b in segment()) {
+        let dist = SegmentDistance::default();
+        let d_ab = dist.distance(&a, &b);
+        let d_ba = dist.distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() <= 1e-9 * (1.0 + d_ab.abs()),
+            "Lemma 2 violated: {d_ab} vs {d_ba}");
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_finite(a in segment(), b in segment()) {
+        let dist = SegmentDistance::default();
+        let d = dist.distance(&a, &b);
+        prop_assert!(d >= 0.0 && d.is_finite());
+        let c = dist.components(&a, &b);
+        prop_assert!(c.perpendicular >= 0.0 && c.parallel >= 0.0 && c.angle >= 0.0);
+    }
+
+    #[test]
+    fn self_distance_is_zero(a in segment()) {
+        let dist = SegmentDistance::default();
+        prop_assert!(dist.distance(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_translation_invariant(a in segment(), b in segment(),
+                                         dx in -1000.0..1000.0f64, dy in -1000.0..1000.0f64) {
+        let dist = SegmentDistance::default();
+        let shift = Vector2::xy(dx, dy);
+        let d0 = dist.distance(&a, &b);
+        let d1 = dist.distance(&a.translated(&shift), &b.translated(&shift));
+        prop_assert!((d0 - d1).abs() <= 1e-6 * (1.0 + d0.abs()),
+            "shift changed the distance: {d0} vs {d1}");
+    }
+
+    #[test]
+    fn undirected_distance_never_exceeds_directed(a in segment(), b in segment()) {
+        let directed = SegmentDistance::default().distance(&a, &b);
+        let undirected = SegmentDistance::undirected().distance(&a, &b);
+        prop_assert!(undirected <= directed + 1e-9,
+            "folding θ can only shrink dθ: {undirected} > {directed}");
+    }
+
+    #[test]
+    fn lehmer_mean_bounds_hold(a in 0.0..1000.0f64, b in 0.0..1000.0f64) {
+        let m = lehmer_mean_2(a, b);
+        let max = a.max(b);
+        prop_assert!(m <= max + 1e-9);
+        prop_assert!(m >= max / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn index_filter_bound_is_conservative(a in segment(), b in segment()) {
+        // DESIGN.md §5: dist(a,b) ≤ ε implies the closest Euclidean
+        // approach is within filter_radius(ε), so an expanded-MBR query
+        // cannot miss a true neighbour.
+        let weights = DistanceWeights::uniform();
+        let dist = SegmentDistance::default().distance(&a, &b);
+        let dmin = a.min_distance(&b);
+        if let Some(r) = filter_radius(dist, &weights) {
+            prop_assert!(dmin <= r + 1e-6,
+                "bound violated: dmin = {dmin} > r = {r} at dist = {dist}");
+        }
+    }
+
+    #[test]
+    fn partitioning_produces_valid_characteristic_points(points in polyline(40)) {
+        let p = approximate_partition(&PartitionConfig::default(), &points);
+        let cps = &p.characteristic_points;
+        prop_assert!(!cps.is_empty());
+        prop_assert_eq!(cps[0], 0, "starts at the first point");
+        prop_assert_eq!(*cps.last().unwrap(), points.len() - 1, "ends at the last point");
+        prop_assert!(cps.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+    }
+
+    #[test]
+    fn optimal_partitioning_cost_at_most_greedy(points in polyline(14)) {
+        let config = PartitionConfig::default();
+        let approx = approximate_partition(&config, &points);
+        let exact = optimal_partition(&config, &points, None);
+        let total = |p: &traclus::core::Partitioning| -> f64 {
+            p.characteristic_points
+                .windows(2)
+                .map(|w| config.mdl_par(&points, w[0], w[1]))
+                .sum()
+        };
+        prop_assert!(total(&exact) <= total(&approx) + 1e-6,
+            "DP optimum beat by greedy: {} vs {}", total(&exact), total(&approx));
+    }
+
+    #[test]
+    fn partition_segments_cover_the_trajectory_endpoints(points in polyline(30)) {
+        let p = approximate_partition(&PartitionConfig::default(), &points);
+        let segs = p.segments(&points);
+        if let (Some(first), Some(last)) = (segs.first(), segs.last()) {
+            prop_assert_eq!(first.start, points[0]);
+            prop_assert_eq!(last.end, *points.last().unwrap());
+        }
+        // Consecutive partitions share endpoints (a connected polyline).
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+}
