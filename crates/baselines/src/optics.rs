@@ -86,12 +86,12 @@ pub fn optics_generic(
         // experiments; priority updates dominate asymptotics otherwise).
         let mut seeds: Vec<u32> = Vec::new();
         let expand = |id: u32,
-                          processed: &mut Vec<bool>,
-                          reach: &mut Vec<f64>,
-                          seeds: &mut Vec<u32>,
-                          ordering: &mut Vec<OpticsEntry>,
-                          neighbors: &mut dyn FnMut(u32) -> Vec<u32>,
-                          dist: &mut dyn FnMut(u32, u32) -> f64| {
+                      processed: &mut Vec<bool>,
+                      reach: &mut Vec<f64>,
+                      seeds: &mut Vec<u32>,
+                      ordering: &mut Vec<OpticsEntry>,
+                      neighbors: &mut dyn FnMut(u32) -> Vec<u32>,
+                      dist: &mut dyn FnMut(u32, u32) -> f64| {
             processed[id as usize] = true;
             let nbrs = neighbors(id);
             let core_distance = core_distance(id, &nbrs, min_pts, dist);
@@ -283,10 +283,7 @@ mod tests {
         // Matched points: one per segment with the *same* cross-track
         // spacing (the y offsets), so the comparison isolates the extra
         // length/parallel/angle terms that only segments carry.
-        let points: Vec<Point2> = segs
-            .iter()
-            .map(|s| Point2::xy(0.0, s.start.y()))
-            .collect();
+        let points: Vec<Point2> = segs.iter().map(|s| Point2::xy(0.0, s.start.y())).collect();
         let pt_result = optics_points(&points, eps, min_pts);
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         let seg_reach = mean(&seg_result.finite_reachabilities());

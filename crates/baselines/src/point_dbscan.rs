@@ -110,13 +110,7 @@ impl<const D: usize> PointGrid<D> {
         k
     }
 
-    fn neighbors_into(
-        &self,
-        points: &[Point<D>],
-        i: usize,
-        eps: f64,
-        out: &mut Vec<usize>,
-    ) {
+    fn neighbors_into(&self, points: &[Point<D>], i: usize, eps: f64, out: &mut Vec<usize>) {
         out.clear();
         let center = Self::key(&points[i], self.cell);
         // Walk the 3^D block around the centre cell.

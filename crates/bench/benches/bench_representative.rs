@@ -2,7 +2,9 @@
 //! over a large single cluster.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use traclus_core::{representative_trajectory, Cluster, ClusterId, RepresentativeConfig, SegmentDatabase};
+use traclus_core::{
+    representative_trajectory, Cluster, ClusterId, RepresentativeConfig, SegmentDatabase,
+};
 use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
 
 fn bundle_db(n: usize) -> (SegmentDatabase<2>, Cluster) {

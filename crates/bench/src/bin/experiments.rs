@@ -76,7 +76,11 @@ fn main() -> ExitCode {
             eprintln!("experiment {} failed: {err}", e.id);
             return ExitCode::FAILURE;
         }
-        println!("=== {} done in {:.1}s ===\n", e.id, start.elapsed().as_secs_f64());
+        println!(
+            "=== {} done in {:.1}s ===\n",
+            e.id,
+            start.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -1,10 +1,10 @@
 //! Appendices A–D of the paper, each as a small quantitative experiment.
 
+use traclus_baselines::{optics_points, optics_segments};
 use traclus_core::{
     approximate_partition, ClusterConfig, IndexKind, LineSegmentClustering, MdlCost,
     PartitionConfig, SegmentDatabase,
 };
-use traclus_baselines::{optics_points, optics_segments};
 use traclus_geom::{
     endpoint_sum_distance, DistanceWeights, IdentifiedSegment, Point2, Segment, Segment2,
     SegmentDistance, SegmentId, TrajectoryId,
@@ -27,10 +27,21 @@ pub fn appendix_a(ctx: &ExperimentContext) -> std::io::Result<()> {
     let l3_tie = Segment2::xy(100.0, 100.0, 200.0, 100.0 * 2.0f64.sqrt());
     let mut csv = ctx.csv(
         "appendix_a_distance_comparison.csv",
-        &["pair", "endpoint_sum", "composite", "perpendicular", "parallel", "angle"],
+        &[
+            "pair",
+            "endpoint_sum",
+            "composite",
+            "perpendicular",
+            "parallel",
+            "angle",
+        ],
     )?;
     println!("[appendix_a] endpoint-sum vs composite distance (Figure 24)");
-    for (name, other) in [("L1-L2", &l2), ("L1-L3_paper", &l3_paper), ("L1-L3_tie", &l3_tie)] {
+    for (name, other) in [
+        ("L1-L2", &l2),
+        ("L1-L3_paper", &l3_paper),
+        ("L1-L3_tie", &l3_tie),
+    ] {
         let naive = endpoint_sum_distance(&l1, other);
         let c = dist.components(&l1, other);
         let composite = dist.distance(&l1, other);
@@ -63,10 +74,23 @@ pub fn appendix_b(ctx: &ExperimentContext) -> std::io::Result<()> {
     let base_partition = partition_with_precision(HURRICANE_MDL_PRECISION);
     let mut csv = ctx.csv(
         "appendix_b_weights.csv",
-        &["w_perp", "w_par", "w_angle", "eps", "clusters", "noise_ratio", "mean_cluster_size"],
+        &[
+            "w_perp",
+            "w_par",
+            "w_angle",
+            "eps",
+            "clusters",
+            "noise_ratio",
+            "mean_cluster_size",
+        ],
     )?;
     println!("[appendix_b] weight sensitivity on the hurricane stand-in");
-    for (wp, wl, wa) in [(1.0, 1.0, 1.0), (2.0, 1.0, 1.0), (1.0, 2.0, 1.0), (1.0, 1.0, 2.0)] {
+    for (wp, wl, wa) in [
+        (1.0, 1.0, 1.0),
+        (2.0, 1.0, 1.0),
+        (1.0, 2.0, 1.0),
+        (1.0, 1.0, 2.0),
+    ] {
         let distance = SegmentDistance::new(
             DistanceWeights::new(wp, wl, wa),
             traclus_geom::AngleMode::Directed,

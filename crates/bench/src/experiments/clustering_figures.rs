@@ -32,7 +32,13 @@ fn run_figure(
     let min_lns_range = select_min_lns(avg);
     let mut csv = ctx.csv(
         &format!("{name}_summary.csv"),
-        &["min_lns", "eps", "clusters", "noise_ratio", "mean_cluster_size"],
+        &[
+            "min_lns",
+            "eps",
+            "clusters",
+            "noise_ratio",
+            "mean_cluster_size",
+        ],
     )?;
     println!(
         "[{name}] heuristic: eps = {eps_opt:.2}, avg|Neps| = {avg:.2}, MinLns candidates {min_lns_range:?} (paper found {paper_clusters} clusters)"

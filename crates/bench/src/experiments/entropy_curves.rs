@@ -43,7 +43,11 @@ fn run_curve(
     let path = csv.finish()?;
     let min = curve.minimum().expect("non-empty curve");
     let min_lns = select_min_lns(min.avg_neighborhood);
-    println!("[{name}] {} segments, scan {secs:.1}s -> {}", db.len(), path.display());
+    println!(
+        "[{name}] {} segments, scan {secs:.1}s -> {}",
+        db.len(),
+        path.display()
+    );
     println!(
         "[{name}] entropy minimum at eps = {:.2} (H = {:.4}); avg|Neps| = {:.2} -> MinLns in {:?}",
         min.eps, min.entropy, min.avg_neighborhood, min_lns

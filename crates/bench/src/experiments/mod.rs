@@ -109,12 +109,14 @@ pub fn registry() -> Vec<Experiment> {
         },
         Experiment {
             id: "sec413",
-            description: "Section 4.1.3: partitioning suppression lengthens segments, improves quality",
+            description:
+                "Section 4.1.3: partitioning suppression lengthens segments, improves quality",
             run: suppression::sec413,
         },
         Experiment {
             id: "gaffney",
-            description: "Figure 1 motivation: regression-mixture EM misses common sub-trajectories",
+            description:
+                "Figure 1 motivation: regression-mixture EM misses common sub-trajectories",
             run: whole_trajectory::gaffney,
         },
     ]

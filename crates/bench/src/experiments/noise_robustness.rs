@@ -23,7 +23,14 @@ struct Recovery {
     noise_rejected_fraction: f64,
 }
 
-fn evaluate(noise_fraction: f64, seed: u64) -> (Recovery, traclus_data::Scene, traclus_core::TraclusOutcome<2>) {
+fn evaluate(
+    noise_fraction: f64,
+    seed: u64,
+) -> (
+    Recovery,
+    traclus_data::Scene,
+    traclus_core::TraclusOutcome<2>,
+) {
     let scene = generate_scene(&SceneConfig {
         noise_fraction,
         seed,
@@ -82,7 +89,9 @@ pub fn fig23(ctx: &ExperimentContext) -> std::io::Result<()> {
         ],
     )?;
     let backbones = traclus_data::default_backbones().len();
-    println!("[fig23] {backbones} planted corridors; paper: clusters correctly identified at 25% noise");
+    println!(
+        "[fig23] {backbones} planted corridors; paper: clusters correctly identified at 25% noise"
+    );
     for &noise in &[0.0, 0.25, 0.4] {
         let (recovery, scene, outcome) = evaluate(noise, 23);
         csv.num_row(&[

@@ -8,9 +8,7 @@
 //! clusters. We sweep the same ±17 % band around the entropy-optimal ε and
 //! additionally sweep MinLns at fixed ε to confirm the mirrored trend.
 
-use traclus_core::{
-    select_min_lns, ClusterConfig, IndexKind, LineSegmentClustering,
-};
+use traclus_core::{select_min_lns, ClusterConfig, IndexKind, LineSegmentClustering};
 
 use crate::experiments::entropy_curves::hurricane_optimal_cached;
 use crate::util::{hurricane_database, ExperimentContext};
@@ -20,10 +18,17 @@ pub fn sec54(ctx: &ExperimentContext) -> std::io::Result<()> {
     let (_, db) = hurricane_database(1950);
     let (eps_opt, avg) = hurricane_optimal_cached();
     let min_lns = *select_min_lns(avg).start() + 1; // the heuristic's middle value
+
     // ε sweep at fixed MinLns — the paper's 25/30/35 pattern, scaled.
     let mut csv = ctx.csv(
         "sec54_param_effects.csv",
-        &["eps", "min_lns", "clusters", "mean_cluster_size", "noise_ratio"],
+        &[
+            "eps",
+            "min_lns",
+            "clusters",
+            "mean_cluster_size",
+            "noise_ratio",
+        ],
     )?;
     println!("[sec54] hurricane stand-in, entropy-optimal eps = {eps_opt:.2}, MinLns = {min_lns}");
     println!("[sec54] paper reference: eps 25 -> 9 clusters (avg 38); eps 30 -> 7; eps 35 -> 3 (avg 174)");
@@ -40,7 +45,13 @@ pub fn sec54(ctx: &ExperimentContext) -> std::io::Result<()> {
         .run();
         let clusters = clustering.clusters.len();
         let mean = clustering.mean_cluster_size();
-        csv.num_row(&[eps, min_lns as f64, clusters as f64, mean, clustering.noise_ratio()])?;
+        csv.num_row(&[
+            eps,
+            min_lns as f64,
+            clusters as f64,
+            mean,
+            clustering.noise_ratio(),
+        ])?;
         println!(
             "[sec54] eps = {eps:.2}: {clusters} clusters, mean size {mean:.1}, noise {:.1}%",
             clustering.noise_ratio() * 100.0

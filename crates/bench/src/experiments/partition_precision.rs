@@ -35,7 +35,10 @@ fn corpus() -> Vec<(String, Vec<Trajectory<2>>)> {
         .take(120)
         .collect();
     vec![
-        ("hurricane".to_string(), hurricanes.into_iter().take(200).collect()),
+        (
+            "hurricane".to_string(),
+            hurricanes.into_iter().take(200).collect(),
+        ),
         ("elk_windows".to_string(), elk),
     ]
 }
@@ -44,7 +47,13 @@ fn corpus() -> Vec<(String, Vec<Trajectory<2>>)> {
 pub fn prec80(ctx: &ExperimentContext) -> std::io::Result<()> {
     let mut csv = ctx.csv(
         "prec80_partition_precision.csv",
-        &["dataset", "trajectories", "mean_precision", "mean_approx_cps", "mean_exact_cps"],
+        &[
+            "dataset",
+            "trajectories",
+            "mean_precision",
+            "mean_approx_cps",
+            "mean_exact_cps",
+        ],
     )?;
     println!("[prec80] paper: precision is about 80% on average");
     for (name, trajectories) in corpus() {

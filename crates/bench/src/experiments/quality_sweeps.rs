@@ -30,7 +30,15 @@ fn run_sweep(
     let eps_values: Vec<f64> = (-3..=3).map(|i| eps_opt + i as f64 * eps_step).collect();
     let mut csv = ctx.csv(
         &format!("{name}.csv"),
-        &["eps", "min_lns", "clusters", "noise_ratio", "total_sse", "noise_penalty", "qmeasure"],
+        &[
+            "eps",
+            "min_lns",
+            "clusters",
+            "noise_ratio",
+            "total_sse",
+            "noise_penalty",
+            "qmeasure",
+        ],
     )?;
     println!(
         "[{name}] sweeping eps in {:.2}..{:.2} x MinLns {:?} (entropy-optimal eps = {eps_opt:.2})",
@@ -40,7 +48,12 @@ fn run_sweep(
     );
     let combos: Vec<(f64, usize)> = min_lns_values
         .iter()
-        .flat_map(|&m| eps_values.iter().filter(|&&e| e > 0.0).map(move |&e| (e, m)))
+        .flat_map(|&m| {
+            eps_values
+                .iter()
+                .filter(|&&e| e > 0.0)
+                .map(move |&e| (e, m))
+        })
         .collect();
     let rows = crate::util::parallel_map(combos, |&(eps, min_lns)| {
         let clustering = LineSegmentClustering::new(
@@ -71,7 +84,7 @@ fn run_sweep(
             q.noise_penalty,
             q.value(),
         ])?;
-        if best.map_or(true, |(_, _, bq)| q.value() < bq) {
+        if best.is_none_or(|(_, _, bq)| q.value() < bq) {
             best = Some((eps, min_lns, q.value()));
         }
     }
@@ -90,12 +103,26 @@ pub fn fig17(ctx: &ExperimentContext) -> std::io::Result<()> {
     let (_, db) = hurricane_database(1950);
     let (eps_opt, avg) = hurricane_optimal_cached();
     // The paper steps ε by 1 around 30 (≈3 %); we mirror that relative step.
-    run_sweep(ctx, "fig17_qmeasure_hurricane", &db, eps_opt, avg, eps_opt / 30.0)
+    run_sweep(
+        ctx,
+        "fig17_qmeasure_hurricane",
+        &db,
+        eps_opt,
+        avg,
+        eps_opt / 30.0,
+    )
 }
 
 /// Figure 20 (Elk1993).
 pub fn fig20(ctx: &ExperimentContext) -> std::io::Result<()> {
     let (_, db) = elk_database(1993);
     let (eps_opt, avg) = elk_optimal_cached();
-    run_sweep(ctx, "fig20_qmeasure_elk1993", &db, eps_opt, avg, eps_opt / 27.0)
+    run_sweep(
+        ctx,
+        "fig20_qmeasure_elk1993",
+        &db,
+        eps_opt,
+        avg,
+        eps_opt / 27.0,
+    )
 }

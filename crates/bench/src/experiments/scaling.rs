@@ -69,10 +69,8 @@ pub fn scaled_database(target_segments: usize, seed: u64) -> SegmentDatabase<2> 
         seed,
         ..SceneConfig::default()
     });
-    let base_segments = traclus_core::partition_trajectories(
-        &PartitionConfig::default(),
-        &base_scene.trajectories,
-    );
+    let base_segments =
+        traclus_core::partition_trajectories(&PartitionConfig::default(), &base_scene.trajectories);
     let per_tile = base_segments.len().max(1);
     let tiles_needed = target_segments.div_ceil(per_tile);
     let grid_side = (tiles_needed as f64).sqrt().ceil() as usize;

@@ -7,7 +7,9 @@
 //! representative hugs the corridor; the whole-trajectory baselines split
 //! the fan by tail direction and no component isolates the corridor.
 
-use traclus_baselines::{fit_regression_mixture, kmeans_trajectories, KMeansConfig, RegressionMixtureConfig};
+use traclus_baselines::{
+    fit_regression_mixture, kmeans_trajectories, KMeansConfig, RegressionMixtureConfig,
+};
 use traclus_core::{Traclus, TraclusConfig};
 use traclus_geom::{Point2, Trajectory, TrajectoryId};
 use traclus_viz::render_clustering;
@@ -16,7 +18,13 @@ use crate::util::ExperimentContext;
 
 /// Builds the fan scene: `per_heading` trajectories per divergence heading.
 pub fn fan_scene(per_heading: usize) -> Vec<Trajectory<2>> {
-    let headings = [(1.0f64, 1.0f64), (1.0, 0.5), (1.0, 0.0), (1.0, -0.5), (1.0, -1.0)];
+    let headings = [
+        (1.0f64, 1.0f64),
+        (1.0, 0.5),
+        (1.0, 0.0),
+        (1.0, -0.5),
+        (1.0, -1.0),
+    ];
     let mut out = Vec::new();
     let mut id = 0u32;
     for (h, &(dx, dy)) in headings.iter().enumerate() {
@@ -77,7 +85,9 @@ pub fn gaffney(ctx: &ExperimentContext) -> std::io::Result<()> {
         format!("{}", outcome.clusters.len()),
         format!(
             "{}",
-            corridor_cluster.map(|c| c.trajectories.len() as f64 / 20.0).unwrap_or(0.0)
+            corridor_cluster
+                .map(|c| c.trajectories.len() as f64 / 20.0)
+                .unwrap_or(0.0)
         ),
         "false".into(),
     ])?;

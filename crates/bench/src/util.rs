@@ -5,6 +5,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use traclus_core::{
@@ -104,12 +105,12 @@ pub fn parallel_entropy_curve(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(grid.len().max(1));
-    let results: Vec<parking_lot::Mutex<Option<EntropyPoint>>> =
-        (0..grid.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<EntropyPoint>>> =
+        (0..grid.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| {
+            s.spawn(|| {
                 let index = db.build_index(IndexKind::RTree, 1.0);
                 loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
@@ -118,20 +119,24 @@ pub fn parallel_entropy_curve(
                     }
                     let eps = grid[i];
                     let stats = NeighborhoodStats::compute(db, &index, eps, weighted);
-                    *results[i].lock() = Some(EntropyPoint {
-                        eps,
-                        entropy: stats.entropy(),
-                        avg_neighborhood: stats.average(),
-                    });
+                    *results[i].lock().expect("entropy workers do not panic") =
+                        Some(EntropyPoint {
+                            eps,
+                            entropy: stats.entropy(),
+                            avg_neighborhood: stats.average(),
+                        });
                 }
             });
         }
-    })
-    .expect("entropy workers do not panic");
+    });
     EntropyCurve {
         points: results
             .into_iter()
-            .map(|m| m.into_inner().expect("all grid points computed"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("entropy workers do not panic")
+                    .expect("all grid points computed")
+            })
             .collect(),
     }
 }
@@ -142,24 +147,26 @@ pub fn parallel_map<T: Sync, R: Send>(inputs: Vec<T>, f: impl Fn(&T) -> R + Sync
         .map(|n| n.get())
         .unwrap_or(4)
         .min(inputs.len().max(1));
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..inputs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::SeqCst);
                 if i >= inputs.len() {
                     break;
                 }
-                *results[i].lock() = Some(f(&inputs[i]));
+                *results[i].lock().expect("workers do not panic") = Some(f(&inputs[i]));
             });
         }
-    })
-    .expect("workers do not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all jobs completed"))
+        .map(|m| {
+            m.into_inner()
+                .expect("workers do not panic")
+                .expect("all jobs completed")
+        })
         .collect()
 }
 
@@ -235,6 +242,10 @@ mod tests {
     fn hurricane_database_builds() {
         let (trajs, db) = hurricane_database(1);
         assert_eq!(trajs.len(), 570);
-        assert!(db.len() > 1_000, "partitioning yields many segments: {}", db.len());
+        assert!(
+            db.len() > 1_000,
+            "partitioning yields many segments: {}",
+            db.len()
+        );
     }
 }

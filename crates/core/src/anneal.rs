@@ -122,7 +122,11 @@ mod tests {
             ..AnnealConfig::default()
         };
         let out = minimize_1d(f, 0.0, 10.0, &config);
-        assert!((out.x - 7.0).abs() < 0.5, "expected global minimum, got {}", out.x);
+        assert!(
+            (out.x - 7.0).abs() < 0.5,
+            "expected global minimum, got {}",
+            out.x
+        );
     }
 
     #[test]
@@ -137,12 +141,7 @@ mod tests {
     fn different_seeds_explore_differently() {
         let base = AnnealConfig::default();
         let a = minimize_1d(|x| x.cos(), 0.0, 30.0, &base);
-        let b = minimize_1d(
-            |x| x.cos(),
-            0.0,
-            30.0,
-            &AnnealConfig { seed: 99, ..base },
-        );
+        let b = minimize_1d(|x| x.cos(), 0.0, 30.0, &AnnealConfig { seed: 99, ..base });
         // Both land on *some* minimum of cos (value ≈ −1).
         assert!(a.value < -0.99);
         assert!(b.value < -0.99);
@@ -152,7 +151,10 @@ mod tests {
     fn stays_within_bounds() {
         let out = minimize_1d(|x| -x, 2.0, 5.0, &AnnealConfig::default());
         assert!((2.0..=5.0).contains(&out.x));
-        assert!((out.x - 5.0).abs() < 0.2, "minimum of −x sits at the hi bound");
+        assert!(
+            (out.x - 5.0).abs() < 0.2,
+            "minimum of −x sits at the hi bound"
+        );
     }
 
     #[test]

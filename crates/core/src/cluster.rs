@@ -292,9 +292,7 @@ mod tests {
         let segs = entries
             .iter()
             .enumerate()
-            .map(|(k, (s, tr))| {
-                IdentifiedSegment::new(SegmentId(k as u32), TrajectoryId(*tr), *s)
-            })
+            .map(|(k, (s, tr))| IdentifiedSegment::new(SegmentId(k as u32), TrajectoryId(*tr), *s))
             .collect();
         SegmentDatabase::from_segments(segs, SegmentDistance::default())
     }
@@ -317,8 +315,7 @@ mod tests {
     fn single_dense_bundle_forms_one_cluster() {
         let entries = bundle(0.0, 0.5, 6, 0, 0.0);
         let database = db(&entries);
-        let clustering =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
         assert_eq!(clustering.clusters.len(), 1);
         assert_eq!(clustering.clusters[0].members.len(), 6);
         assert_eq!(clustering.clusters[0].trajectory_cardinality(), 6);
@@ -330,8 +327,7 @@ mod tests {
         let mut entries = bundle(0.0, 0.5, 5, 0, 0.0);
         entries.extend(bundle(100.0, 0.5, 5, 10, 0.0));
         let database = db(&entries);
-        let clustering =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
         assert_eq!(clustering.clusters.len(), 2);
         // Cluster ids are dense and label arrays agree with member lists.
         for c in &clustering.clusters {
@@ -346,8 +342,7 @@ mod tests {
         let mut entries = bundle(0.0, 0.5, 5, 0, 0.0);
         entries.push((Segment2::xy(500.0, 500.0, 510.0, 500.0), 99));
         let database = db(&entries);
-        let clustering =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
         assert_eq!(clustering.clusters.len(), 1);
         let noise = clustering.noise();
         assert_eq!(noise, vec![5], "the outlier is noise");
@@ -362,8 +357,7 @@ mod tests {
             .map(|i| (Segment2::xy(0.0, 0.2 * i as f64, 10.0, 0.2 * i as f64), 7))
             .collect();
         let database = db(&entries);
-        let clustering =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
         assert!(clustering.clusters.is_empty());
         assert_eq!(clustering.filtered_out, 1);
         assert_eq!(clustering.noise().len(), 6, "filtered members become noise");
@@ -382,8 +376,7 @@ mod tests {
             })
             .collect();
         let database = db(&entries);
-        let default_run =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
+        let default_run = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
         assert!(default_run.clusters.is_empty());
         let relaxed = LineSegmentClustering::new(
             &database,
@@ -404,8 +397,7 @@ mod tests {
             .map(|i| (Segment2::xy(0.0, 0.4 * i as f64, 10.0, 0.4 * i as f64), i))
             .collect();
         let database = db(&entries);
-        let clustering =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.0, 3)).run();
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.0, 3)).run();
         assert_eq!(clustering.clusters.len(), 1, "one connected chain");
         assert_eq!(clustering.clusters[0].members.len(), 20);
     }
@@ -434,7 +426,11 @@ mod tests {
             SegmentLabel::Cluster(ClusterId(0)),
             "border segment is absorbed"
         );
-        assert_eq!(labels[6], SegmentLabel::Noise, "no expansion through border");
+        assert_eq!(
+            labels[6],
+            SegmentLabel::Noise,
+            "no expansion through border"
+        );
     }
 
     #[test]
@@ -502,8 +498,7 @@ mod tests {
     #[test]
     fn empty_database() {
         let database = db(&[]);
-        let clustering =
-            LineSegmentClustering::new(&database, ClusterConfig::new(1.0, 2)).run();
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.0, 2)).run();
         assert!(clustering.clusters.is_empty());
         assert!(clustering.labels.is_empty());
         assert_eq!(clustering.noise_ratio(), 0.0);

@@ -49,19 +49,23 @@ pub mod simplify;
 use traclus_geom::{SegmentDistance, Trajectory};
 
 pub use anneal::{minimize_1d, AnnealConfig, AnnealOutcome};
-pub use cluster::{Cluster, ClusterConfig, ClusterId, Clustering, LineSegmentClustering, SegmentLabel};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterId, Clustering, LineSegmentClustering, SegmentLabel,
+};
 pub use params::{
     select_eps_annealing, select_min_lns, EntropyCurve, EntropyPoint, EpsSelection,
     NeighborhoodStats,
 };
 pub use partition::{
-    approximate_partition, optimal_partition, partition_precision, partition_trajectories,
-    MdlCost, PartitionConfig, Partitioning,
+    approximate_partition, optimal_partition, partition_precision, partition_trajectories, MdlCost,
+    PartitionConfig, Partitioning,
 };
 pub use quality::QMeasure;
-pub use representative::{average_direction_vector, representative_trajectory, RepresentativeConfig};
-pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
+pub use representative::{
+    average_direction_vector, representative_trajectory, RepresentativeConfig,
+};
 pub use segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
+pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
 
 /// End-to-end configuration of the TRACLUS pipeline (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,10 +188,8 @@ impl Traclus {
         )
         .run();
         // Representative trajectories (lines 5–6).
-        let mut rep_config = RepresentativeConfig::new(
-            cfg.min_lns,
-            cfg.smoothing.unwrap_or(cfg.eps * 0.25),
-        );
+        let mut rep_config =
+            RepresentativeConfig::new(cfg.min_lns, cfg.smoothing.unwrap_or(cfg.eps * 0.25));
         rep_config.weighted = cfg.weighted;
         let clusters = clustering
             .clusters
@@ -281,10 +283,7 @@ mod tests {
         })
         .run(&figure_1_scene());
         assert_eq!(outcome.clusters.len(), outcome.representatives().len());
-        assert_eq!(
-            outcome.clusters.len(),
-            outcome.clustering.clusters.len()
-        );
+        assert_eq!(outcome.clusters.len(), outcome.clustering.clusters.len());
     }
 
     #[test]
@@ -311,17 +310,13 @@ mod tests {
             min_lns: 3,
             ..TraclusConfig::default()
         };
-        let db1 = SegmentDatabase::from_trajectories(
-            &trajs,
-            &config.partition,
-            config.distance,
-        );
-        let tight = Traclus::new(TraclusConfig { eps: 0.05, ..config }).run_on_database(db1);
-        let db2 = SegmentDatabase::from_trajectories(
-            &trajs,
-            &config.partition,
-            config.distance,
-        );
+        let db1 = SegmentDatabase::from_trajectories(&trajs, &config.partition, config.distance);
+        let tight = Traclus::new(TraclusConfig {
+            eps: 0.05,
+            ..config
+        })
+        .run_on_database(db1);
+        let db2 = SegmentDatabase::from_trajectories(&trajs, &config.partition, config.distance);
         let loose = Traclus::new(config).run_on_database(db2);
         assert!(tight.clusters.len() <= loose.clusters.len());
     }

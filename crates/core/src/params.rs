@@ -165,9 +165,7 @@ pub fn select_min_lns(avg_neighborhood: f64) -> RangeInclusive<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use traclus_geom::{
-        IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId,
-    };
+    use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
 
     fn db_of(segs: Vec<Segment2>) -> SegmentDatabase<2> {
         let identified = segs
@@ -185,11 +183,21 @@ mod tests {
             segs.push(Segment2::xy(0.0, 0.3 * i as f64, 10.0, 0.3 * i as f64));
         }
         for i in 0..8 {
-            segs.push(Segment2::xy(50.0, 40.0 + 0.3 * i as f64, 60.0, 40.0 + 0.3 * i as f64));
+            segs.push(Segment2::xy(
+                50.0,
+                40.0 + 0.3 * i as f64,
+                60.0,
+                40.0 + 0.3 * i as f64,
+            ));
         }
         for i in 0..6 {
             let x = 100.0 + 25.0 * i as f64;
-            segs.push(Segment2::xy(x, -50.0 - 10.0 * i as f64, x + 8.0, -45.0 - 10.0 * i as f64));
+            segs.push(Segment2::xy(
+                x,
+                -50.0 - 10.0 * i as f64,
+                x + 8.0,
+                -45.0 - 10.0 * i as f64,
+            ));
         }
         db_of(segs)
     }

@@ -256,8 +256,9 @@ pub fn optimal_partition<const D: usize>(
 /// Endpoints are excluded: both algorithms always select them, so counting
 /// them would inflate the figure.
 pub fn partition_precision(approximate: &Partitioning, exact: &Partitioning) -> Option<f64> {
-    let interior =
-        |p: &Partitioning| -> Vec<usize> { p.characteristic_points[1..p.characteristic_points.len().saturating_sub(1)].to_vec() };
+    let interior = |p: &Partitioning| -> Vec<usize> {
+        p.characteristic_points[1..p.characteristic_points.len().saturating_sub(1)].to_vec()
+    };
     let approx_interior = interior(approximate);
     if approx_interior.is_empty() {
         return None;
@@ -415,7 +416,13 @@ mod tests {
     #[test]
     fn endpoints_always_present() {
         let config = PartitionConfig::default();
-        let points = pts(&[(0.0, 0.0), (5.0, 1.0), (9.0, -1.0), (14.0, 0.5), (20.0, 0.0)]);
+        let points = pts(&[
+            (0.0, 0.0),
+            (5.0, 1.0),
+            (9.0, -1.0),
+            (14.0, 0.5),
+            (20.0, 0.0),
+        ]);
         let p = approximate_partition(&config, &points);
         assert_eq!(*p.characteristic_points.first().unwrap(), 0);
         assert_eq!(*p.characteristic_points.last().unwrap(), 4);
@@ -434,8 +441,7 @@ mod tests {
             vec![0]
         );
         assert_eq!(
-            approximate_partition(&config, &pts(&[(0.0, 0.0), (1.0, 0.0)]))
-                .characteristic_points,
+            approximate_partition(&config, &pts(&[(0.0, 0.0), (1.0, 0.0)])).characteristic_points,
             vec![0, 1]
         );
     }
@@ -443,13 +449,7 @@ mod tests {
     #[test]
     fn duplicate_points_do_not_break_partitioning() {
         let config = PartitionConfig::default();
-        let points = pts(&[
-            (0.0, 0.0),
-            (0.0, 0.0),
-            (5.0, 0.0),
-            (5.0, 0.0),
-            (5.0, 5.0),
-        ]);
+        let points = pts(&[(0.0, 0.0), (0.0, 0.0), (5.0, 0.0), (5.0, 0.0), (5.0, 5.0)]);
         let p = approximate_partition(&config, &points);
         assert!(p.characteristic_points.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(*p.characteristic_points.last().unwrap(), 4);
@@ -481,8 +481,7 @@ mod tests {
             base.partition_count()
         );
         assert!(
-            suppressed.mean_partition_length(&points)
-                >= base.mean_partition_length(&points),
+            suppressed.mean_partition_length(&points) >= base.mean_partition_length(&points),
             "suppression must not shorten partitions"
         );
     }
@@ -540,13 +539,7 @@ mod tests {
         // The approximate algorithm may stop early (Figure 9) but its
         // characteristic points largely coincide with the exact optimum.
         let config = PartitionConfig::default();
-        let points = pts(&[
-            (0.0, 0.0),
-            (4.0, 6.0),
-            (9.0, 7.5),
-            (14.0, 6.0),
-            (18.0, 0.0),
-        ]);
+        let points = pts(&[(0.0, 0.0), (4.0, 6.0), (9.0, 7.5), (14.0, 6.0), (18.0, 0.0)]);
         let approx = approximate_partition(&config, &points);
         let exact = optimal_partition(&config, &points, None);
         if let Some(p) = partition_precision(&approx, &exact) {
@@ -584,10 +577,7 @@ mod tests {
     #[test]
     fn partition_trajectories_skips_degenerate_partitions() {
         let config = PartitionConfig::default();
-        let t = Trajectory::new(
-            TrajectoryId(0),
-            pts(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]),
-        );
+        let t = Trajectory::new(TrajectoryId(0), pts(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]));
         let segs = partition_trajectories(&config, &[t]);
         assert!(segs.is_empty(), "all-duplicate trajectory yields nothing");
     }

@@ -55,7 +55,12 @@ impl QMeasure {
         assert!(max_pairs > 0);
         let mut total_sse = 0.0;
         for cluster in &clustering.clusters {
-            total_sse += group_sse(db, &cluster.members, Some(max_pairs), seed ^ cluster.id.0 as u64);
+            total_sse += group_sse(
+                db,
+                &cluster.members,
+                Some(max_pairs),
+                seed ^ cluster.id.0 as u64,
+            );
         }
         let noise = clustering.noise();
         let noise_penalty = group_sse(db, &noise, Some(max_pairs), seed ^ 0xdead_beef);
@@ -113,9 +118,7 @@ fn group_sse<const D: usize>(
 mod tests {
     use super::*;
     use crate::cluster::{ClusterConfig, LineSegmentClustering};
-    use traclus_geom::{
-        IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId,
-    };
+    use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
 
     fn db_of(segs: Vec<Segment2>) -> SegmentDatabase<2> {
         let identified = segs

@@ -123,7 +123,11 @@ pub fn representative_trajectory<const D: usize>(
         frame_segments.push(FrameSegment {
             lo,
             hi,
-            weight: if config.weighted { identified.weight } else { 1.0 },
+            weight: if config.weighted {
+                identified.weight
+            } else {
+                1.0
+            },
         });
     }
     // Lines 3–4: sort the endpoints by X′.
@@ -156,7 +160,11 @@ pub fn representative_trajectory<const D: usize>(
         for fs in &frame_segments {
             if fs.lo[0] <= x && x <= fs.hi[0] {
                 let span = fs.hi[0] - fs.lo[0];
-                let t = if span > 0.0 { (x - fs.lo[0]) / span } else { 0.5 };
+                let t = if span > 0.0 {
+                    (x - fs.lo[0]) / span
+                } else {
+                    0.5
+                };
                 for k in 1..D {
                     avg[k] += fs.weight * (fs.lo[k] + t * (fs.hi[k] - fs.lo[k]));
                 }
@@ -178,9 +186,7 @@ pub fn representative_trajectory<const D: usize>(
 mod tests {
     use super::*;
     use crate::cluster::{Cluster, ClusterId};
-    use traclus_geom::{
-        IdentifiedSegment, Segment2, SegmentDistance, SegmentId, Vector2,
-    };
+    use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, Vector2};
 
     fn db_of(segs: &[Segment2]) -> SegmentDatabase<2> {
         let identified = segs
@@ -221,14 +227,15 @@ mod tests {
             .map(|i| Segment2::xy(0.0, i as f64, 10.0, i as f64))
             .collect();
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(5),
-            &RepresentativeConfig::new(3, 0.0),
-        );
+        let rep =
+            representative_trajectory(&db, &cluster_of(5), &RepresentativeConfig::new(3, 0.0));
         assert!(rep.points.len() >= 2);
         for p in &rep.points {
-            assert!((p.y() - 2.0).abs() < 1e-9, "centerline at y=2, got {}", p.y());
+            assert!(
+                (p.y() - 2.0).abs() < 1e-9,
+                "centerline at y=2, got {}",
+                p.y()
+            );
         }
         let xs: Vec<f64> = rep.points.iter().map(|p| p.x()).collect();
         assert!(xs.windows(2).all(|w| w[0] <= w[1]), "monotone along sweep");
@@ -245,11 +252,8 @@ mod tests {
             Segment2::xy(4.0, 2.0, 10.0, 2.0),
         ];
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(3),
-            &RepresentativeConfig::new(3, 0.0),
-        );
+        let rep =
+            representative_trajectory(&db, &cluster_of(3), &RepresentativeConfig::new(3, 0.0));
         for p in &rep.points {
             assert!(
                 (4.0 - 1e-9..=6.0 + 1e-9).contains(&p.x()),
@@ -268,16 +272,10 @@ mod tests {
             })
             .collect();
         let db = db_of(&segs);
-        let dense = representative_trajectory(
-            &db,
-            &cluster_of(6),
-            &RepresentativeConfig::new(3, 0.0),
-        );
-        let sparse = representative_trajectory(
-            &db,
-            &cluster_of(6),
-            &RepresentativeConfig::new(3, 2.0),
-        );
+        let dense =
+            representative_trajectory(&db, &cluster_of(6), &RepresentativeConfig::new(3, 0.0));
+        let sparse =
+            representative_trajectory(&db, &cluster_of(6), &RepresentativeConfig::new(3, 2.0));
         assert!(sparse.points.len() < dense.points.len());
         let xs: Vec<f64> = sparse.points.iter().map(|p| p.x()).collect();
         assert!(
@@ -293,11 +291,8 @@ mod tests {
             Segment2::xy(20.0, 0.0, 30.0, 0.0), // disjoint X-extents
         ];
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(2),
-            &RepresentativeConfig::new(3, 0.0),
-        );
+        let rep =
+            representative_trajectory(&db, &cluster_of(2), &RepresentativeConfig::new(3, 0.0));
         assert!(rep.points.is_empty());
     }
 
@@ -311,11 +306,8 @@ mod tests {
             })
             .collect();
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(4),
-            &RepresentativeConfig::new(3, 0.0),
-        );
+        let rep =
+            representative_trajectory(&db, &cluster_of(4), &RepresentativeConfig::new(3, 0.0));
         assert!(rep.points.len() >= 2);
         let first = rep.points.first().unwrap();
         let last = rep.points.last().unwrap();
@@ -335,12 +327,12 @@ mod tests {
             Segment2::xy(10.0, 3.0, 0.0, 3.0),
         ];
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(4),
-            &RepresentativeConfig::new(3, 0.0),
+        let rep =
+            representative_trajectory(&db, &cluster_of(4), &RepresentativeConfig::new(3, 0.0));
+        assert!(
+            rep.points.len() >= 2,
+            "sweep still works on the fallback axis"
         );
-        assert!(rep.points.len() >= 2, "sweep still works on the fallback axis");
     }
 
     #[test]
@@ -353,11 +345,8 @@ mod tests {
             Segment2::xy(5.0, -2.0, 5.0, 2.0), // vertical
         ];
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(3),
-            &RepresentativeConfig::new(3, 0.0),
-        );
+        let rep =
+            representative_trajectory(&db, &cluster_of(3), &RepresentativeConfig::new(3, 0.0));
         for p in &rep.points {
             assert!(p.is_finite());
         }
@@ -387,11 +376,8 @@ mod tests {
             Segment2::xy(3.0, 3.0, 7.0, 3.0),
         ];
         let db = db_of(&segs);
-        let rep = representative_trajectory(
-            &db,
-            &cluster_of(4),
-            &RepresentativeConfig::new(3, 0.0),
-        );
+        let rep =
+            representative_trajectory(&db, &cluster_of(4), &RepresentativeConfig::new(3, 0.0));
         // 3+ deep only within [2, 5].
         for p in &rep.points {
             assert!((2.0 - 1e-9..=5.0 + 1e-9).contains(&p.x()), "{}", p.x());

@@ -116,8 +116,10 @@ impl<const D: usize> SegmentDatabase<D> {
     /// identifier").
     pub fn distance(&self, a: u32, b: u32) -> f64 {
         let (i, j) = self.ordered_pair(a, b);
-        self.distance
-            .distance_ordered(&self.segments[i as usize].segment, &self.segments[j as usize].segment)
+        self.distance.distance_ordered(
+            &self.segments[i as usize].segment,
+            &self.segments[j as usize].segment,
+        )
     }
 
     fn ordered_pair(&self, a: u32, b: u32) -> (u32, u32) {

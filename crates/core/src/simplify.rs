@@ -202,15 +202,22 @@ mod tests {
             mdl.characteristic_points
         );
         assert!(
-            mdl.characteristic_points.iter().any(|&c| (23..=26).contains(&c)),
+            mdl.characteristic_points
+                .iter()
+                .any(|&c| (23..=26).contains(&c)),
             "MDL keeps the corner: {:?}",
             mdl.characteristic_points
         );
         let (tolerance, dp) =
             douglas_peucker_matching_count(&points, mdl.characteristic_points.len());
-        assert!(tolerance > 0.8, "DP's matched tolerance exceeds the noise band");
         assert!(
-            dp.characteristic_points.iter().any(|&c| (23..=26).contains(&c)),
+            tolerance > 0.8,
+            "DP's matched tolerance exceeds the noise band"
+        );
+        assert!(
+            dp.characteristic_points
+                .iter()
+                .any(|&c| (23..=26).contains(&c)),
             "DP also keeps the corner at the matched budget: {:?}",
             dp.characteristic_points
         );

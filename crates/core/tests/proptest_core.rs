@@ -4,13 +4,11 @@
 
 use proptest::prelude::*;
 use traclus_core::{
-    approximate_partition, representative_trajectory, Cluster, ClusterConfig, ClusterId,
-    IndexKind, LineSegmentClustering, MdlCost, PartitionConfig, RepresentativeConfig,
-    SegmentDatabase, SegmentLabel,
+    approximate_partition, representative_trajectory, Cluster, ClusterConfig, ClusterId, IndexKind,
+    LineSegmentClustering, MdlCost, PartitionConfig, RepresentativeConfig, SegmentDatabase,
+    SegmentLabel,
 };
-use traclus_geom::{
-    IdentifiedSegment, Point2, Segment2, SegmentDistance, SegmentId, TrajectoryId,
-};
+use traclus_geom::{IdentifiedSegment, Point2, Segment2, SegmentDistance, SegmentId, TrajectoryId};
 
 fn coord() -> impl Strategy<Value = f64> {
     -200.0..200.0f64

@@ -345,8 +345,8 @@ mod tests {
         let elk = AnimalGenerator::elk1993(2);
         let hurricanes = crate::hurricane::HurricaneGenerator::paper_scale(2);
         let elk_mean = elk.iter().map(|t| t.len()).sum::<usize>() as f64 / elk.len() as f64;
-        let hur_mean = hurricanes.iter().map(|t| t.len()).sum::<usize>() as f64
-            / hurricanes.len() as f64;
+        let hur_mean =
+            hurricanes.iter().map(|t| t.len()).sum::<usize>() as f64 / hurricanes.len() as f64;
         assert!(
             elk_mean > 10.0 * hur_mean,
             "elk {elk_mean} vs hurricanes {hur_mean}"

@@ -170,11 +170,7 @@ impl SegmentDistance {
     /// Computes the three raw components with `a`/`b` in caller order;
     /// internally the longer segment plays `Lᵢ` (ties broken
     /// lexicographically) so the result is symmetric.
-    pub fn components<const D: usize>(
-        &self,
-        a: &Segment<D>,
-        b: &Segment<D>,
-    ) -> DistanceComponents {
+    pub fn components<const D: usize>(&self, a: &Segment<D>, b: &Segment<D>) -> DistanceComponents {
         let (li, lj) = order_by_length(a, b);
         components_with_roles(li, lj, self.angle_mode)
     }
@@ -485,7 +481,10 @@ mod tests {
         let c = dist.components(&s, &q);
         assert!(c.angle.abs() < EPS);
         assert!((c.perpendicular - 4.0).abs() < EPS);
-        assert!((c.parallel - 3.0).abs() < EPS, "projection (3,0): min(3,7)=3");
+        assert!(
+            (c.parallel - 3.0).abs() < EPS,
+            "projection (3,0): min(3,7)=3"
+        );
     }
 
     #[test]
@@ -516,10 +515,7 @@ mod tests {
         let d13 = dist.distance(&l1, &l3);
         let d12 = dist.distance(&l1, &l2);
         let d23 = dist.distance(&l2, &l3);
-        assert!(
-            d13 > d12 + d23,
-            "expected violation: {d13} ≤ {d12} + {d23}"
-        );
+        assert!(d13 > d12 + d23, "expected violation: {d13} ≤ {d12} + {d23}");
     }
 
     #[test]
@@ -530,6 +526,7 @@ mod tests {
         // distance separates the two through its angle component.
         let l1 = Segment2::xy(0.0, 0.0, 200.0, 0.0);
         let l2 = Segment2::xy(100.0, 100.0, 300.0, 100.0); // parallel shift
+
         // L3: same endpoint-sum as L2 by construction (each endpoint at
         // distance 100√2 from the corresponding L1 endpoint) but rotated.
         let l3 = Segment2::xy(100.0, 100.0, 200.0, 100.0 * 2.0f64.sqrt());
@@ -579,10 +576,8 @@ mod tests {
     fn weights_scale_components() {
         let a = Segment2::xy(0.0, 0.0, 10.0, 0.0);
         let b = Segment2::xy(0.0, 2.0, 10.0, 2.0);
-        let heavy_perp = SegmentDistance::new(
-            DistanceWeights::new(10.0, 1.0, 1.0),
-            AngleMode::Directed,
-        );
+        let heavy_perp =
+            SegmentDistance::new(DistanceWeights::new(10.0, 1.0, 1.0), AngleMode::Directed);
         let base = default_dist();
         assert!((heavy_perp.distance(&a, &b) - 10.0 * base.distance(&a, &b)).abs() < EPS);
     }
@@ -596,10 +591,8 @@ mod tests {
     #[test]
     fn three_dimensional_distance() {
         let dist = SegmentDistance::default();
-        let a: Segment<3> =
-            Segment::new(Point::new([0.0, 0.0, 0.0]), Point::new([10.0, 0.0, 0.0]));
-        let b: Segment<3> =
-            Segment::new(Point::new([0.0, 3.0, 4.0]), Point::new([10.0, 3.0, 4.0]));
+        let a: Segment<3> = Segment::new(Point::new([0.0, 0.0, 0.0]), Point::new([10.0, 0.0, 0.0]));
+        let b: Segment<3> = Segment::new(Point::new([0.0, 3.0, 4.0]), Point::new([10.0, 3.0, 4.0]));
         let c = dist.components(&a, &b);
         assert!((c.perpendicular - 5.0).abs() < EPS);
         assert!(c.parallel.abs() < EPS);

@@ -204,10 +204,7 @@ mod tests {
             for j in 0..3 {
                 let dot = f.axis(i).dot(f.axis(j));
                 let expect = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (dot - expect).abs() < 1e-9,
-                    "axes[{i}]·axes[{j}] = {dot}"
-                );
+                assert!((dot - expect).abs() < 1e-9, "axes[{i}]·axes[{j}] = {dot}");
             }
         }
         let p: Point<3> = Point::new([234.0, 1.5, 35.6]);

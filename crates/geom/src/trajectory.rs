@@ -85,9 +85,7 @@ impl<const D: usize> Trajectory<D> {
     /// The consecutive-point segments `p₁p₂, p₂p₃, …` (i.e. the finest
     /// possible partitioning).
     pub fn edges(&self) -> impl Iterator<Item = Segment<D>> + '_ {
-        self.points
-            .windows(2)
-            .map(|w| Segment::new(w[0], w[1]))
+        self.points.windows(2).map(|w| Segment::new(w[0], w[1]))
     }
 
     /// Total polyline length.

@@ -1,9 +1,7 @@
 //! Property-based tests of the geometry kernel.
 
 use proptest::prelude::*;
-use traclus_geom::{
-    Aabb, OrthonormalFrame, Point2, Segment2, SegmentDistance, Vector2,
-};
+use traclus_geom::{Aabb, OrthonormalFrame, Point2, Segment2, SegmentDistance, Vector2};
 
 fn coord() -> impl Strategy<Value = f64> {
     -1000.0..1000.0f64

@@ -154,13 +154,25 @@ mod tests {
         let weights = DistanceWeights::uniform();
         let pairs = [
             // Collinear, disjoint: all gap in d∥.
-            (Segment2::xy(0.0, 0.0, 10.0, 0.0), Segment2::xy(14.0, 0.0, 17.0, 0.0)),
+            (
+                Segment2::xy(0.0, 0.0, 10.0, 0.0),
+                Segment2::xy(14.0, 0.0, 17.0, 0.0),
+            ),
             // One perpendicular offset zero (Lehmer mean at its max/2 bound).
-            (Segment2::xy(0.0, 0.0, 10.0, 0.0), Segment2::xy(3.0, 0.0, 6.0, 4.0)),
+            (
+                Segment2::xy(0.0, 0.0, 10.0, 0.0),
+                Segment2::xy(3.0, 0.0, 6.0, 4.0),
+            ),
             // Anti-parallel overlap.
-            (Segment2::xy(0.0, 0.0, 10.0, 0.0), Segment2::xy(9.0, 1.0, 1.0, 1.0)),
+            (
+                Segment2::xy(0.0, 0.0, 10.0, 0.0),
+                Segment2::xy(9.0, 1.0, 1.0, 1.0),
+            ),
             // Tiny far segment.
-            (Segment2::xy(0.0, 0.0, 100.0, 0.0), Segment2::xy(50.0, 7.0, 50.1, 7.0)),
+            (
+                Segment2::xy(0.0, 0.0, 100.0, 0.0),
+                Segment2::xy(50.0, 7.0, 50.1, 7.0),
+            ),
         ];
         for (a, b) in pairs {
             let d = dist.distance(&a, &b);

@@ -79,9 +79,7 @@ impl<const D: usize> Node<D> {
     fn depth(&self) -> usize {
         match self {
             Node::Leaf { .. } => 1,
-            Node::Internal { children } => {
-                1 + children.first().map_or(0, |(_, c)| c.depth())
-            }
+            Node::Internal { children } => 1 + children.first().map_or(0, |(_, c)| c.depth()),
         }
     }
 
@@ -196,7 +194,10 @@ impl<const D: usize> RTree<D> {
             );
             drop(old_root); // fully replaced by left/right below
             self.root = Node::Internal {
-                children: vec![(left.bbox(), Box::new(left)), (right.bbox(), Box::new(right))],
+                children: vec![
+                    (left.bbox(), Box::new(left)),
+                    (right.bbox(), Box::new(right)),
+                ],
             };
         }
     }
@@ -270,11 +271,7 @@ fn str_sort<const D: usize>(items: &mut [(u32, Aabb<D>)], dim: usize, node_cap: 
     }
 }
 
-fn str_sort_nodes<const D: usize>(
-    items: &mut [(Aabb<D>, Node<D>)],
-    dim: usize,
-    node_cap: usize,
-) {
+fn str_sort_nodes<const D: usize>(items: &mut [(Aabb<D>, Node<D>)], dim: usize, node_cap: usize) {
     if dim >= D || items.len() <= node_cap {
         return;
     }

@@ -3,8 +3,8 @@
 //! bulk loading and incremental insertion.
 
 use proptest::prelude::*;
-use traclus_index::{GridIndex, LinearScanIndex, RTree, RTreeParams, SpatialIndex};
 use traclus_geom::Aabb;
+use traclus_index::{GridIndex, LinearScanIndex, RTree, RTreeParams, SpatialIndex};
 
 prop_compose! {
     fn bbox()(x in -100.0..100.0f64, y in -100.0..100.0f64,

@@ -107,7 +107,14 @@ impl SvgCanvas {
     }
 
     /// Draws a single line segment.
-    pub fn segment(&mut self, a: &Point2, b: &Point2, color: Color, stroke_width: f64, opacity: f64) {
+    pub fn segment(
+        &mut self,
+        a: &Point2,
+        b: &Point2,
+        color: Color,
+        stroke_width: f64,
+        opacity: f64,
+    ) {
         let (x1, y1) = self.tx(a);
         let (x2, y2) = self.tx(b);
         let _ = writeln!(
@@ -149,7 +156,9 @@ impl SvgCanvas {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Renders a clustering result in the paper's Figure 18/21/22 style: thin
@@ -172,7 +181,12 @@ pub fn render_clustering(
         canvas.polyline(&t.points, Color::TRAJECTORY_GREEN, 0.7, 0.45);
     }
     for c in &outcome.clusters {
-        canvas.polyline(&c.representative.points, Color::REPRESENTATIVE_RED, 3.0, 0.95);
+        canvas.polyline(
+            &c.representative.points,
+            Color::REPRESENTATIVE_RED,
+            3.0,
+            0.95,
+        );
     }
     canvas.finish()
 }
@@ -189,16 +203,19 @@ pub fn render_segments(outcome: &TraclusOutcome<2>, width: f64, height: f64) -> 
     let mut canvas = SvgCanvas::new(world, width, height);
     for (i, seg) in outcome.database.segments().iter().enumerate() {
         let (color, width_px, opacity) = match outcome.clustering.labels[i] {
-            traclus_core::SegmentLabel::Cluster(id) => {
-                (Color::palette(id.0 as usize), 1.5, 0.9)
-            }
+            traclus_core::SegmentLabel::Cluster(id) => (Color::palette(id.0 as usize), 1.5, 0.9),
             _ => (Color::NOISE_GREY, 0.7, 0.5),
         };
         let s = &seg.segment;
         canvas.segment(&s.start, &s.end, color, width_px, opacity);
     }
     for c in &outcome.clusters {
-        canvas.polyline(&c.representative.points, Color::REPRESENTATIVE_RED, 3.0, 0.95);
+        canvas.polyline(
+            &c.representative.points,
+            Color::REPRESENTATIVE_RED,
+            3.0,
+            0.95,
+        );
     }
     canvas.finish()
 }

@@ -10,7 +10,14 @@ use traclus::data::{AnimalConfig, AnimalGenerator, Habitat};
 use traclus::prelude::*;
 use traclus::viz::render_clustering;
 
-fn run_species(name: &str, habitat: Habitat, animals: usize, fixes: usize, eps: f64, min_lns: usize) {
+fn run_species(
+    name: &str,
+    habitat: Habitat,
+    animals: usize,
+    fixes: usize,
+    eps: f64,
+    min_lns: usize,
+) {
     let telemetry = AnimalGenerator::new(
         habitat,
         AnimalConfig {

@@ -6,7 +6,9 @@
 //! cargo run --release --example hurricanes
 //! ```
 
-use traclus::core::{select_min_lns, EntropyCurve, IndexKind, MdlCost, PartitionConfig, SegmentDatabase};
+use traclus::core::{
+    select_min_lns, EntropyCurve, IndexKind, MdlCost, PartitionConfig, SegmentDatabase,
+};
 use traclus::data::HurricaneGenerator;
 use traclus::prelude::*;
 use traclus::viz::render_clustering;
@@ -60,7 +62,11 @@ fn main() {
     for c in &outcome.clusters {
         let rep = &c.representative;
         if let (Some(first), Some(last)) = (rep.points.first(), rep.points.last()) {
-            let east_west = if last.x() > first.x() { "west->east" } else { "east->west" };
+            let east_west = if last.x() > first.x() {
+                "west->east"
+            } else {
+                "east->west"
+            };
             println!(
                 "  cluster {}: {} segments, {} storms, heading {east_west} ({:.0},{:.0}) -> ({:.0},{:.0})",
                 c.cluster.id,

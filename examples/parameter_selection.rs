@@ -21,11 +21,8 @@ fn main() {
         scene.noise_ids().len()
     );
     let config = TraclusConfig::default();
-    let db = SegmentDatabase::from_trajectories(
-        &scene.trajectories,
-        &config.partition,
-        config.distance,
-    );
+    let db =
+        SegmentDatabase::from_trajectories(&scene.trajectories, &config.partition, config.distance);
     println!("{} segments", db.len());
 
     // 1. Entropy curve scan (Figure 16/19 style).
@@ -33,7 +30,10 @@ fn main() {
     let curve = EntropyCurve::scan(&db, IndexKind::RTree, grid, false);
     println!("\n eps   entropy  avg|Neps|");
     for p in curve.points.iter().step_by(4) {
-        println!("{:>5.1}  {:>7.4}  {:>8.2}", p.eps, p.entropy, p.avg_neighborhood);
+        println!(
+            "{:>5.1}  {:>7.4}  {:>8.2}",
+            p.eps, p.entropy, p.avg_neighborhood
+        );
     }
     let best = curve.minimum().expect("non-empty");
     println!(
@@ -69,8 +69,7 @@ fn main() {
         (best.eps * 3.0, min_lns),
         (best.eps, min_lns * 3),
     ] {
-        let clustering =
-            LineSegmentClustering::new(&db, ClusterConfig::new(eps, m)).run();
+        let clustering = LineSegmentClustering::new(&db, ClusterConfig::new(eps, m)).run();
         let q = QMeasure::compute_sampled(&db, &clustering, 200_000, 7);
         println!(
             "{:>5.1}  {:>6}  {:>8}  {:>6.1}  {:>9.0}",

@@ -19,7 +19,10 @@ fn main() {
                 points.push(Point2::xy(k as f64 * 4.0, offset));
             }
             for k in 1..15 {
-                points.push(Point2::xy(116.0 + k as f64 * 3.0, offset + turn * k as f64 * 4.0));
+                points.push(Point2::xy(
+                    116.0 + k as f64 * 3.0,
+                    offset + turn * k as f64 * 4.0,
+                ));
             }
             Trajectory::new(TrajectoryId(i), points)
         })

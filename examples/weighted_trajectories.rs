@@ -12,7 +12,9 @@
 use traclus::prelude::*;
 
 fn corridor_trajectory(_id: u32, offset: f64) -> Vec<Point2> {
-    (0..25).map(|k| Point2::xy(k as f64 * 5.0, offset)).collect()
+    (0..25)
+        .map(|k| Point2::xy(k as f64 * 5.0, offset))
+        .collect()
 }
 
 fn main() {

@@ -70,7 +70,7 @@ pub mod prelude {
         Traclus, TraclusConfig, TraclusOutcome,
     };
     pub use traclus_geom::{
-        AngleMode, DistanceWeights, Point, Point2, Segment, Segment2, SegmentDistance,
-        Trajectory, Trajectory2, TrajectoryId,
+        AngleMode, DistanceWeights, Point, Point2, Segment, Segment2, SegmentDistance, Trajectory,
+        Trajectory2, TrajectoryId,
     };
 }

@@ -3,12 +3,8 @@
 //! scheme is an optimisation, never a semantic change.
 
 use proptest::prelude::*;
-use traclus::core::{
-    ClusterConfig, IndexKind, LineSegmentClustering, SegmentDatabase,
-};
-use traclus::geom::{
-    IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId,
-};
+use traclus::core::{ClusterConfig, IndexKind, LineSegmentClustering, SegmentDatabase};
+use traclus::geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
 
 fn db_from(raw: Vec<(f64, f64, f64, f64)>) -> SegmentDatabase<2> {
     let segments: Vec<IdentifiedSegment<2>> = raw

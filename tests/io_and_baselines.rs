@@ -98,11 +98,8 @@ fn baselines_run_on_generated_scenes() {
 
     // OPTICS over the partitioned segments completes and covers all ids.
     let config = TraclusConfig::default();
-    let db = SegmentDatabase::from_trajectories(
-        &scene.trajectories,
-        &config.partition,
-        config.distance,
-    );
+    let db =
+        SegmentDatabase::from_trajectories(&scene.trajectories, &config.partition, config.distance);
     let index = db.build_index(IndexKind::RTree, 7.0);
     let optics = optics_segments(&db, &index, 7.0, 5);
     assert_eq!(optics.ordering.len(), db.len());
@@ -112,14 +109,21 @@ fn baselines_run_on_generated_scenes() {
 fn whole_trajectory_baselines_vs_traclus_on_fan_scene() {
     // The quantified Figure 1 story used by the `gaffney` experiment,
     // asserted as a regression test.
-    let headings = [(1.0f64, 1.0f64), (1.0, 0.5), (1.0, 0.0), (1.0, -0.5), (1.0, -1.0)];
+    let headings = [
+        (1.0f64, 1.0f64),
+        (1.0, 0.5),
+        (1.0, 0.0),
+        (1.0, -0.5),
+        (1.0, -1.0),
+    ];
     let mut trajectories = Vec::new();
     let mut id = 0u32;
     for &(dx, dy) in &headings {
         for j in 0..4 {
             let offset = id as f64 * 0.4 + j as f64 * 0.05;
-            let mut points: Vec<Point2> =
-                (0..30).map(|k| Point2::xy(k as f64 * 4.0, offset)).collect();
+            let mut points: Vec<Point2> = (0..30)
+                .map(|k| Point2::xy(k as f64 * 4.0, offset))
+                .collect();
             for k in 1..16 {
                 let t = k as f64 * 4.0;
                 points.push(Point2::xy(116.0 + dx * t, offset + dy * t));

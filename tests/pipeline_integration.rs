@@ -3,7 +3,9 @@
 //! crate exactly as a downstream user would.
 
 use traclus::core::{SegmentDatabase, SegmentLabel};
-use traclus::data::{generate_scene, AnimalConfig, AnimalGenerator, Habitat, SceneConfig, TruthLabel};
+use traclus::data::{
+    generate_scene, AnimalConfig, AnimalGenerator, Habitat, SceneConfig, TruthLabel,
+};
 use traclus::prelude::*;
 use traclus::viz::{render_clustering, render_segments};
 

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use traclus::core::{approximate_partition, optimal_partition, PartitionConfig};
-use traclus::geom::{
-    lehmer_mean_2, DistanceWeights, Point2, Segment2, SegmentDistance, Vector2,
-};
+use traclus::geom::{lehmer_mean_2, DistanceWeights, Point2, Segment2, SegmentDistance, Vector2};
 use traclus::index::filter_radius;
 
 fn coord() -> impl Strategy<Value = f64> {

@@ -1,0 +1,75 @@
+//! Smoke test: the full `Traclus::run` pipeline on a tiny hand-built
+//! corridor scene. This is the fastest end-to-end check that the
+//! partition → group → representative chain is wired correctly; the
+//! heavier scenarios live in `pipeline_integration.rs`.
+
+use traclus::prelude::*;
+
+/// Eight trajectories wobbling along one horizontal corridor, plus one
+/// diagonal outlier that must not prevent the corridor from clustering.
+fn corridor_scene() -> Vec<Trajectory2> {
+    let mut trajectories: Vec<Trajectory2> = (0..8)
+        .map(|i| {
+            let y = i as f64 * 0.8;
+            Trajectory::new(
+                TrajectoryId(i),
+                (0..25)
+                    .map(|k| Point2::xy(k as f64 * 4.0, y + (k as f64 * 0.9).sin()))
+                    .collect(),
+            )
+        })
+        .collect();
+    trajectories.push(Trajectory::new(
+        TrajectoryId(8),
+        (0..25)
+            .map(|k| Point2::xy(k as f64 * 4.0, 40.0 + k as f64 * 3.0))
+            .collect(),
+    ));
+    trajectories
+}
+
+#[test]
+fn pipeline_smoke_clusters_a_synthetic_corridor() {
+    let trajectories = corridor_scene();
+    let config = TraclusConfig {
+        eps: 6.0,
+        min_lns: 4,
+        ..TraclusConfig::default()
+    };
+    let outcome = Traclus::new(config).run(&trajectories);
+
+    // The corridor must be found.
+    assert!(
+        !outcome.clusters.is_empty(),
+        "corridor scene produced no clusters"
+    );
+
+    // Every cluster carries a polyline representative with finite points.
+    for cluster in &outcome.clusters {
+        let rep = &cluster.representative;
+        assert!(
+            rep.points.len() >= 2,
+            "cluster {:?} representative has {} point(s); expected a polyline",
+            cluster.id,
+            rep.points.len()
+        );
+        for p in &rep.points {
+            assert!(p.is_finite(), "non-finite representative point {p:?}");
+        }
+    }
+
+    // The representative of the corridor cluster stays inside the
+    // corridor's y-band (the outlier heads to y ≈ 112 and must not drag
+    // any representative with it).
+    let corridor_found = outcome.clusters.iter().any(|c| {
+        c.representative
+            .points
+            .iter()
+            .all(|p| (-2.0..=8.0).contains(&p.y()))
+    });
+    assert!(corridor_found, "no representative tracks the corridor band");
+
+    // Determinism: the same input and config reproduce the same outcome.
+    let again = Traclus::new(config).run(&trajectories);
+    assert_eq!(outcome.clustering, again.clustering);
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate reimplements the slice of proptest this workspace uses:
+//!
+//! * [`strategy::Strategy`] — implemented for numeric ranges, tuples of
+//!   strategies, and [`collection::vec`];
+//! * [`prop_compose!`] — build a named strategy from component strategies;
+//! * [`proptest!`] — run each property over `ProptestConfig::cases`
+//!   deterministic pseudo-random cases (seeded from the test name, so
+//!   failures reproduce across runs);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! the panic message only), no persistence files, and no `any::<T>()`
+//! reflection. Cases are NOT minimal counterexamples.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Deterministically seed a [`test_runner::TestRng`] from a test name.
+/// FNV-1a over the name keeps distinct tests on distinct streams.
+pub fn rng_for_test(name: &str) -> test_runner::TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    test_runner::TestRng::seed(hash)
+}
+
+/// Run one property over `config.cases` generated cases.
+///
+/// `case` draws its own inputs from the RNG and returns `true` if the
+/// inputs were accepted (i.e. not rejected by `prop_assume!`); rejected
+/// cases do not count against the case budget (up to a global retry cap).
+pub fn run_cases(
+    config: &test_runner::ProptestConfig,
+    rng: &mut test_runner::TestRng,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> bool,
+) {
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(1000);
+    while accepted < config.cases && attempts < max_attempts {
+        attempts += 1;
+        if case(rng) {
+            accepted += 1;
+        }
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "prop_assert_eq failed ({})\n  left: {:?}\n right: {:?}",
+                format_args!($($fmt)+), l, r
+            );
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — skip the current case when `cond` is false.
+/// Works by early-returning from the per-case closure built by
+/// [`proptest!`].
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return false;
+        }
+    };
+}
+
+/// Build a named strategy function out of component strategies:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn point()(x in -1.0..1.0f64, y in -1.0..1.0f64) -> Point {
+///         Point { x, y }
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+            ($($var:ident in $strat:expr),+ $(,)?)
+            -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::map(($($strat,)+), move |($($var,)+)| $body)
+        }
+    };
+}
+
+/// Define `#[test]` functions that each run over many generated cases:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0..100i64, b in 0..100i64) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (
+        $(#[$meta:meta] fn $name:ident($($var:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default());
+            $(#[$meta] fn $name($($var in $strat),*) $body)*);
+    };
+    (
+        @impl ($config:expr);
+        $(#[$meta:meta] fn $name:ident($($var:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                $crate::run_cases(&config, &mut rng, |rng| {
+                    $(let $var = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                    let case = move || -> bool { { $body } true };
+                    case()
+                });
+            }
+        )*
+    };
+}

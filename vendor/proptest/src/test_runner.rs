@@ -1,0 +1,48 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the heavier
+        // whole-pipeline properties in this workspace fast while still
+        // exploring a meaningful slice of the input space.
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies — a seeded [`StdRng`].
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic stream from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}

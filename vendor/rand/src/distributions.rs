@@ -1,0 +1,153 @@
+//! The [`Standard`] distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T` (subset of
+/// `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: `[0, 1)` for floats, full range
+/// for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform range sampling (subset of `rand::distributions::uniform`).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Sample from the half-open interval `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Sample from the closed interval `[low, high]`.
+        fn sample_closed<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as u128).wrapping_sub(low as u128) as u128;
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+                fn sample_closed<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "gen_range: empty range");
+                    let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: every value is admissible.
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let unit = crate::distributions::Distribution::<$t>::sample(
+                        &crate::distributions::Standard, rng);
+                    let v = low + (high - low) * unit;
+                    // Guard against round-up to `high` at the interval edge.
+                    if v < high { v } else { <$t>::from_bits(high.to_bits() - 1) }
+                }
+                fn sample_closed<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "gen_range: empty range");
+                    let unit = crate::distributions::Distribution::<$t>::sample(
+                        &crate::distributions::Standard, rng);
+                    low + (high - low) * unit
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Range-shaped arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_closed(low, high, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..7usize);
+            assert!((3..7).contains(&x));
+            let y = rng.gen_range(-2.0..5.0f64);
+            assert!((-2.0..5.0).contains(&y));
+            let z = rng.gen_range(0.0..=1.0f64);
+            assert!((0.0..=1.0).contains(&z));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn integer_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
