@@ -117,12 +117,19 @@ impl Clustering {
             .collect()
     }
 
-    /// Fraction of segments labelled noise.
+    /// Fraction of segments labelled noise. Counts labels in place — this
+    /// runs inside the parameter-sweep experiment loops, where building the
+    /// full [`Self::noise`] id vector per configuration was pure waste.
     pub fn noise_ratio(&self) -> f64 {
         if self.labels.is_empty() {
             0.0
         } else {
-            self.noise().len() as f64 / self.labels.len() as f64
+            let noise = self
+                .labels
+                .iter()
+                .filter(|l| matches!(l, SegmentLabel::Noise))
+                .count();
+            noise as f64 / self.labels.len() as f64
         }
     }
 
@@ -175,15 +182,30 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
                 .db
                 .neighborhood_cardinality(&neighborhood, self.config.weighted);
             if cardinality >= self.config.min_lns {
-                // lines 7–8: assign the id to the whole neighborhood and
-                // queue it (minus L itself) for expansion.
-                for &x in &neighborhood {
-                    raw[x as usize] = Some(cluster_id);
-                    classified[x as usize] = true;
-                    visited_noise[x as usize] = false;
-                }
+                // lines 7–8: claim the neighborhood for the new cluster and
+                // queue the unclassified part (minus L itself) for
+                // expansion. Only unclassified or noise segments are
+                // claimed: a border segment already classified into an
+                // earlier cluster belongs to that cluster (DBSCAN
+                // first-come semantics) — unconditionally re-assigning it
+                // here would silently steal it and desynchronise the
+                // earlier cluster's members from its labels. Noise
+                // segments are claimed as border members but not queued
+                // (they were already visited and found non-core), matching
+                // `expand_cluster`.
                 queue.clear();
-                queue.extend(neighborhood.iter().copied().filter(|&x| x != l));
+                for &x in &neighborhood {
+                    let xi = x as usize;
+                    let was_unclassified = !classified[xi];
+                    if was_unclassified || visited_noise[xi] {
+                        raw[xi] = Some(cluster_id);
+                        classified[xi] = true;
+                        visited_noise[xi] = false;
+                        if was_unclassified && x != l {
+                            queue.push_back(x);
+                        }
+                    }
+                }
                 // Step 2 (lines 17–28).
                 self.expand_cluster(
                     &index,
@@ -431,6 +453,46 @@ mod tests {
             SegmentLabel::Noise,
             "no expansion through border"
         );
+    }
+
+    #[test]
+    fn border_segment_is_not_stolen_by_later_cluster() {
+        // Two dense bundles share one border segment halfway between them.
+        // The border (id 5, y = 3.0) is within ε of the top of bundle A
+        // (y = 1.6) and the bottom of bundle B (y = 4.4) but is itself
+        // non-core (its neighborhood {1.6, 3.0, 4.4} has cardinality 3 <
+        // MinLns 4). Bundle A seeds first (lower ids) and absorbs the
+        // border; when bundle B's seed later expands, it must NOT steal
+        // the border from cluster 0 — the pre-fix code unconditionally
+        // re-assigned every neighborhood member.
+        let mut entries = bundle(0.0, 0.4, 5, 0, 0.0); // ids 0–4: bundle A
+        entries.push((Segment2::xy(0.0, 3.0, 10.0, 3.0), 50)); // id 5: border
+        entries.extend(bundle(4.4, 0.4, 5, 10, 0.0)); // ids 6–10: bundle B
+        let database = db(&entries);
+        let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 4)).run();
+        assert_eq!(clustering.clusters.len(), 2, "both bundles survive");
+        let [a, b] = &clustering.clusters[..] else {
+            unreachable!("two clusters asserted above")
+        };
+        assert!(a.members.contains(&0), "cluster 0 is bundle A");
+        assert_eq!(
+            a.members,
+            vec![0, 1, 2, 3, 4, 5],
+            "the earlier cluster keeps its border segment"
+        );
+        assert_eq!(b.members, vec![6, 7, 8, 9, 10], "no stolen member");
+        assert_eq!(
+            clustering.labels[5],
+            SegmentLabel::Cluster(a.id),
+            "border label agrees with cluster A's member list"
+        );
+        // Labels and member lists stay mutually consistent for every
+        // cluster — the invariant the stealing bug violated.
+        for c in &clustering.clusters {
+            for &m in &c.members {
+                assert_eq!(clustering.labels[m as usize], SegmentLabel::Cluster(c.id));
+            }
+        }
     }
 
     #[test]

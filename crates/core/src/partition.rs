@@ -19,7 +19,8 @@
 //! [`PartitionConfig::suppression`].
 
 use traclus_geom::{
-    IdentifiedSegment, Point, Segment, SegmentDistance, SegmentId, Trajectory, TrajectoryId,
+    IdentifiedSegment, Point, PreparedBase, Segment, SegmentDistance, SegmentId, Trajectory,
+    TrajectoryId,
 };
 
 /// Encoding of real values as bit lengths (Section 3.2).
@@ -97,13 +98,20 @@ impl PartitionConfig {
     /// `MDL_par(p_i, p_j)`: cost when `p_i, p_j` are the only characteristic
     /// points of the stretch — `L(H) = log₂ len(p_i p_j)` plus
     /// `L(D|H) = Σ_k log₂ d⊥ + log₂ dθ` against every original edge.
+    ///
+    /// The hypothesis segment always plays the base role, so its projection
+    /// setup is prepared once ([`PreparedBase`]) and the batched MDL kernel
+    /// evaluates every edge against it — bit-identical to per-edge
+    /// `mdl_components`, minus the repeated setup and the discarded
+    /// parallel component.
     pub fn mdl_par<const D: usize>(&self, points: &[Point<D>], i: usize, j: usize) -> f64 {
         debug_assert!(i < j && j < points.len());
         let hypothesis = Segment::new(points[i], points[j]);
+        let base = PreparedBase::new(&hypothesis);
         let mut cost = self.cost.bits(hypothesis.length());
         for k in i..j {
             let edge = Segment::new(points[k], points[k + 1]);
-            let (perp, angle) = self.distance.mdl_components(&hypothesis, &edge);
+            let (perp, angle) = self.distance.mdl_components_prepared(&base, &edge);
             cost += self.cost.bits(perp) + self.cost.bits(angle);
         }
         cost

@@ -7,7 +7,9 @@
 //! scan or through a spatial index with the conservative filter radius
 //! derived in `traclus-index`.
 
-use traclus_geom::{Aabb, IdentifiedSegment, SegmentDistance, Trajectory, TrajectoryId};
+use traclus_geom::{
+    Aabb, IdentifiedSegment, SegmentDistance, SegmentSoa, Trajectory, TrajectoryId,
+};
 use traclus_index::{filter_radius, GridIndex, RTree, RTreeParams, SpatialIndex};
 
 use crate::partition::{partition_trajectories, PartitionConfig};
@@ -41,12 +43,22 @@ pub struct NeighborIndex<const D: usize> {
 
 /// The segment database: segments + cached geometry + the distance
 /// function all phases share.
+///
+/// Geometry derived from the segments (direction vectors, squared norms,
+/// lengths, midpoints) lives in a structure-of-arrays [`SegmentSoa`] built
+/// once at construction, so ε-neighborhood refinement runs the batched
+/// `distance_many` kernel instead of re-deriving projection setup from raw
+/// endpoints on every pair.
 pub struct SegmentDatabase<const D: usize> {
     segments: Vec<IdentifiedSegment<D>>,
-    lengths: Vec<f64>,
+    soa: SegmentSoa<D>,
     bboxes: Vec<Aabb<D>>,
     distance: SegmentDistance,
 }
+
+/// Candidates are refined through the batched kernel in stack-allocated
+/// chunks of this many distances (no per-query heap traffic).
+const REFINE_CHUNK: usize = 64;
 
 impl<const D: usize> SegmentDatabase<D> {
     /// Builds the database from already-partitioned segments.
@@ -61,11 +73,11 @@ impl<const D: usize> SegmentDatabase<D> {
                 "segment ids must be dense and sequential"
             );
         }
-        let lengths = segments.iter().map(|s| s.segment.length()).collect();
+        let soa = SegmentSoa::from_segments(segments.iter().map(|s| &s.segment));
         let bboxes = segments.iter().map(|s| s.bounding_box()).collect();
         Self {
             segments,
-            lengths,
+            soa,
             bboxes,
             distance,
         }
@@ -103,7 +115,14 @@ impl<const D: usize> SegmentDatabase<D> {
 
     /// Cached length of a segment.
     pub fn length(&self, id: u32) -> f64 {
-        self.lengths[id as usize]
+        self.soa.length(id as usize)
+    }
+
+    /// The structure-of-arrays geometry cache (contiguous starts, ends,
+    /// directions, squared norms, lengths, midpoints), built once at
+    /// construction for the batched distance kernel.
+    pub fn soa(&self) -> &SegmentSoa<D> {
+        &self.soa
     }
 
     /// The distance function shared by all phases.
@@ -122,9 +141,18 @@ impl<const D: usize> SegmentDatabase<D> {
         )
     }
 
+    /// Batched distances from `query` to each candidate (same ordering and
+    /// bit-exact results as [`Self::distance`], one hoisted projection
+    /// setup instead of per-pair recomputation). `out[k]` receives the
+    /// distance to `candidates[k]`.
+    pub fn distances_into(&self, query: u32, candidates: &[u32], out: &mut Vec<f64>) {
+        self.distance
+            .distance_many(&self.soa, query, candidates, out);
+    }
+
     fn ordered_pair(&self, a: u32, b: u32) -> (u32, u32) {
-        let la = self.lengths[a as usize];
-        let lb = self.lengths[b as usize];
+        let la = self.soa.length(a as usize);
+        let lb = self.soa.length(b as usize);
         if la > lb {
             (a, b)
         } else if lb > la {
@@ -140,7 +168,12 @@ impl<const D: usize> SegmentDatabase<D> {
     ///
     /// `typical_eps` sizes grid cells (any positive value keeps the grid
     /// correct; a value near the query ε keeps it fast). R-tree and linear
-    /// variants ignore it.
+    /// variants ignore it. A non-positive or non-finite `typical_eps`
+    /// cannot size a grid — the cell then falls back to one derived from
+    /// the database bounding box (longest side over `√n`), and if that is
+    /// degenerate too (empty database, or all segments stacked on one
+    /// point) the grid degrades to a linear scan rather than hashing every
+    /// segment into a pathological one-point-per-cell lattice.
     pub fn build_index(&self, kind: IndexKind, typical_eps: f64) -> NeighborIndex<D> {
         let radius_per_eps = filter_radius(1.0, &self.distance.weights);
         let entries = || {
@@ -152,8 +185,11 @@ impl<const D: usize> SegmentDatabase<D> {
         let imp = match kind {
             IndexKind::Linear => IndexImpl::Linear,
             IndexKind::Grid => {
-                let cell = (typical_eps * radius_per_eps.unwrap_or(1.0)).max(1e-9);
-                IndexImpl::Grid(GridIndex::build(cell, entries()))
+                let cell = typical_eps * radius_per_eps.unwrap_or(1.0);
+                match self.grid_cell_or_fallback(cell) {
+                    Some(cell) => IndexImpl::Grid(GridIndex::build(cell, entries())),
+                    None => IndexImpl::Linear,
+                }
             }
             IndexKind::RTree => {
                 IndexImpl::RTree(RTree::bulk_load(RTreeParams::default(), entries()))
@@ -163,6 +199,21 @@ impl<const D: usize> SegmentDatabase<D> {
             imp,
             radius_per_eps,
         }
+    }
+
+    /// A usable grid cell size: `cell` when positive and finite, else a
+    /// fallback from the bounding-box extent, else `None` (use linear scan).
+    fn grid_cell_or_fallback(&self, cell: f64) -> Option<f64> {
+        if cell > 0.0 && cell.is_finite() {
+            return Some(cell);
+        }
+        let bb = self.bounding_box();
+        if bb.is_empty() {
+            return None;
+        }
+        let extent = (0..D).map(|k| bb.max[k] - bb.min[k]).fold(0.0f64, f64::max);
+        let fallback = extent / (self.segments.len() as f64).sqrt().max(1.0);
+        (fallback > 0.0 && fallback.is_finite()).then_some(fallback)
     }
 
     /// Appends to `out` the ids of the ε-neighborhood `Nε(L)` of segment
@@ -180,27 +231,54 @@ impl<const D: usize> SegmentDatabase<D> {
         match (&index.imp, index.radius_per_eps) {
             (IndexImpl::Linear, _) | (_, None) => {
                 // Full scan: either requested or forced by degenerate
-                // weights (no conservative filter exists).
-                for cand in 0..self.segments.len() as u32 {
-                    if self.distance(id, cand) <= eps {
-                        out.push(cand);
+                // weights (no conservative filter exists). The candidate
+                // universe is `0..n` in order, so feed consecutive id
+                // chunks straight into the batched kernel.
+                let n = self.segments.len() as u32;
+                let mut ids = [0u32; REFINE_CHUNK];
+                let mut dists = [0.0f64; REFINE_CHUNK];
+                let mut base = 0u32;
+                while base < n {
+                    let take = REFINE_CHUNK.min((n - base) as usize);
+                    for (k, slot) in ids[..take].iter_mut().enumerate() {
+                        *slot = base + k as u32;
                     }
+                    self.refine_chunk(id, &ids[..take], &mut dists[..take], eps, out);
+                    base += take as u32;
                 }
             }
             (imp, Some(r)) => {
                 let window = self.bboxes[id as usize].expanded(eps * r);
                 let mut candidates = Vec::new();
                 match imp {
-                    IndexImpl::Grid(g) => g.query_into(&window, &mut candidates),
-                    IndexImpl::RTree(t) => t.query_into(&window, &mut candidates),
+                    IndexImpl::Grid(g) => g.query_sorted_into(&window, &mut candidates),
+                    IndexImpl::RTree(t) => t.query_sorted_into(&window, &mut candidates),
                     IndexImpl::Linear => unreachable!("handled above"),
                 }
-                candidates.sort_unstable();
-                for cand in candidates {
-                    if self.distance(id, cand) <= eps {
-                        out.push(cand);
-                    }
+                let mut dists = [0.0f64; REFINE_CHUNK];
+                for chunk in candidates.chunks(REFINE_CHUNK) {
+                    self.refine_chunk(id, chunk, &mut dists[..chunk.len()], eps, out);
                 }
+            }
+        }
+    }
+
+    /// Batch-evaluates distances from `id` to one candidate chunk and keeps
+    /// the candidates within `eps`.
+    #[inline]
+    fn refine_chunk(
+        &self,
+        id: u32,
+        chunk: &[u32],
+        dists: &mut [f64],
+        eps: f64,
+        out: &mut Vec<u32>,
+    ) {
+        self.distance
+            .distance_many_into(&self.soa, id, chunk, dists);
+        for (&cand, &d) in chunk.iter().zip(dists.iter()) {
+            if d <= eps {
+                out.push(cand);
             }
         }
     }
@@ -335,6 +413,51 @@ mod tests {
         let db = SegmentDatabase::from_segments(segs, SegmentDistance::default());
         assert_eq!(db.neighborhood_cardinality(&[0, 1], false), 2.0);
         assert_eq!(db.neighborhood_cardinality(&[0, 1], true), 3.0);
+    }
+
+    #[test]
+    fn grid_at_zero_eps_matches_linear() {
+        // typical_eps = 0 used to clamp the cell to 1e-9, hashing every
+        // segment into an astronomical number of one-point cells; the
+        // fallback now derives the cell from the bounding box.
+        let db = sample_db();
+        let linear = db.build_index(IndexKind::Linear, 0.0);
+        let grid = db.build_index(IndexKind::Grid, 0.0);
+        for id in 0..db.len() as u32 {
+            for eps in [0.0, 1.5] {
+                assert_eq!(
+                    db.neighborhood(&grid, id, eps),
+                    db.neighborhood(&linear, id, eps),
+                    "grid vs linear at eps={eps}, id={id}"
+                );
+            }
+        }
+        // Degenerate database (single point-segment): no usable extent
+        // either — the grid must degrade to a full scan, not panic.
+        let point_db = db_from(&[Segment2::xy(5.0, 5.0, 5.0, 5.0)]);
+        let idx = point_db.build_index(IndexKind::Grid, 0.0);
+        assert_eq!(point_db.neighborhood(&idx, 0, 0.0), vec![0]);
+        // Non-finite typical_eps takes the same fallback.
+        let idx = db.build_index(IndexKind::Grid, f64::INFINITY);
+        assert_eq!(db.neighborhood(&idx, 0, 1.5), vec![0, 1]);
+    }
+
+    #[test]
+    fn batched_distances_match_scalar_bitwise() {
+        let db = sample_db();
+        let candidates: Vec<u32> = (0..db.len() as u32).collect();
+        let mut out = Vec::new();
+        for q in 0..db.len() as u32 {
+            db.distances_into(q, &candidates, &mut out);
+            assert_eq!(out.len(), candidates.len());
+            for (&c, &d) in candidates.iter().zip(&out) {
+                assert_eq!(
+                    d.to_bits(),
+                    db.distance(q, c).to_bits(),
+                    "batched != scalar for ({q},{c})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,13 @@ prop_compose! {
     }
 }
 
+prop_compose! {
+    /// A non-negative component weight, zero with probability 1/4.
+    fn weight()(sel in 0u8..4, w in 0.01..5.0f64) -> f64 {
+        if sel == 0 { 0.0 } else { w }
+    }
+}
+
 proptest! {
     #[test]
     fn mdl_bits_are_monotone_nonnegative(x in 0.0..1e9f64, y in 0.0..1e9f64,
@@ -144,6 +151,41 @@ proptest! {
                 db.neighborhood(&index, m, eps).len() >= min_lns
             });
             prop_assert!(has_core, "cluster {:?} has no core segment", cluster.id);
+        }
+    }
+
+    #[test]
+    fn index_kinds_and_batched_kernel_agree(segments in segment_set(30),
+                                            eps_sel in 0u8..4,
+                                            eps_raw in 0.5..40.0f64,
+                                            wp in weight(), wl in weight(), wa in weight()) {
+        // Every acceleration arm must produce the identical neighborhood:
+        // linear scan, grid (including the eps = 0 bounding-box fallback),
+        // and R-tree, under arbitrary non-negative weights — zero w∥/w⊥
+        // disable the conservative filter and force full scans. The
+        // batched kernel must refine to the same bits as the scalar one.
+        let eps = if eps_sel == 0 { 0.0 } else { eps_raw };
+        let dist = SegmentDistance::new(
+            traclus_geom::DistanceWeights::new(wp, wl, wa),
+            traclus_geom::AngleMode::Directed,
+        );
+        let db = SegmentDatabase::from_segments(segments, dist);
+        let linear = db.build_index(IndexKind::Linear, eps);
+        let grid = db.build_index(IndexKind::Grid, eps);
+        let rtree = db.build_index(IndexKind::RTree, eps);
+        let candidates: Vec<u32> = (0..db.len() as u32).collect();
+        let mut dists = Vec::new();
+        for id in 0..db.len() as u32 {
+            let a = db.neighborhood(&linear, id, eps);
+            let b = db.neighborhood(&grid, id, eps);
+            let c = db.neighborhood(&rtree, id, eps);
+            prop_assert_eq!(&a, &b, "grid vs linear at id {}", id);
+            prop_assert_eq!(&a, &c, "rtree vs linear at id {}", id);
+            db.distances_into(id, &candidates, &mut dists);
+            for (&cand, &d) in candidates.iter().zip(&dists) {
+                prop_assert_eq!(d.to_bits(), db.distance(id, cand).to_bits(),
+                    "batched != scalar for ({}, {})", id, cand);
+            }
         }
     }
 

@@ -1,0 +1,795 @@
+//! Batched evaluation of the composite segment distance over a
+//! structure-of-arrays geometry cache.
+//!
+//! `SegmentDistance::distance` dominates both TRACLUS phases: every
+//! ε-neighborhood query of Figure 12 evaluates it against dozens of
+//! candidates, and the MDL cost of Figure 8 evaluates the perpendicular and
+//! angle components of one hypothesis segment against every original edge
+//! under it. Both workloads share a *one query vs. many candidates* shape,
+//! so the per-query projection setup (direction vector, squared norm,
+//! length, degeneracy check) can be hoisted out of the candidate loop.
+//!
+//! Two entry points:
+//!
+//! * [`SegmentSoa`] + [`SegmentDistance::distance_many`] — the symmetric
+//!   clustering-phase distance against cached candidate geometry;
+//! * [`PreparedBase`] + [`SegmentDistance::mdl_components_prepared`] — the
+//!   role-explicit perpendicular + angle pair used by Formula 7, skipping
+//!   the parallel component entirely.
+//!
+//! # Exactness contract
+//!
+//! The batched kernels are **bit-identical** to the scalar path
+//! ([`SegmentDistance::distance_ordered`] /
+//! [`SegmentDistance::mdl_components`]): every floating-point operation is
+//! performed in the same order on the same values, with one provably exact
+//! rewrite — the parallel distance takes `min` over *squared* endpoint gaps
+//! before a single square root instead of four roots before the `min`
+//! (`√` is monotone and correctly rounded, so `min(√a, √b) ≡ √min(a, b)`
+//! bit-for-bit on non-negative inputs). Cached values (direction vectors,
+//! squared norms, lengths, midpoints) are produced by the same expressions
+//! the scalar path evaluates inline, so reusing them changes nothing.
+//! Property tests in `tests/proptest_geom.rs` compare raw bits.
+//!
+//! # Role ordering
+//!
+//! [`SegmentDistance::distance_many`] assigns the *longer* segment the base
+//! role `Lᵢ` (Lemma 2), comparing the **cached** lengths; exact-length ties
+//! are broken by the smaller SoA index — the paper's "internal identifier"
+//! tie-break, matching `SegmentDatabase::distance` in `traclus-core` (which
+//! stores segments id-ordered) rather than the coordinate-lexicographic
+//! fallback of the id-free scalar [`SegmentDistance::distance`].
+
+use crate::distance::{
+    lehmer_mean_2, AngleMode, DistanceComponents, DistanceWeights, SegmentDistance,
+};
+use crate::point::{Point, Vector};
+use crate::segment::Segment;
+
+/// Structure-of-arrays geometry cache: contiguous per-segment starts, ends,
+/// direction vectors, squared norms, lengths, and midpoints, precomputed
+/// once so batched distance evaluation touches no `Segment` values.
+///
+/// Index `i` everywhere refers to the `i`-th pushed segment; in
+/// `traclus-core` that is exactly the dense segment id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentSoa<const D: usize> {
+    starts: Vec<Point<D>>,
+    ends: Vec<Point<D>>,
+    /// Raw (unnormalised) direction vectors `→se`; kept unnormalised
+    /// because the scalar path projects with `(p − s)·v / ‖v‖²` and bit
+    /// equality requires the same operands. `dir / length` recovers the
+    /// unit direction where one is needed.
+    dirs: Vec<Vector<D>>,
+    norms_sq: Vec<f64>,
+    lengths: Vec<f64>,
+    midpoints: Vec<Point<D>>,
+}
+
+impl<const D: usize> SegmentSoa<D> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            starts: Vec::new(),
+            ends: Vec::new(),
+            dirs: Vec::new(),
+            norms_sq: Vec::new(),
+            lengths: Vec::new(),
+            midpoints: Vec::new(),
+        }
+    }
+
+    /// Builds the cache from a segment sequence.
+    pub fn from_segments<'a>(segments: impl IntoIterator<Item = &'a Segment<D>>) -> Self {
+        let mut soa = Self::new();
+        for s in segments {
+            soa.push(s);
+        }
+        soa
+    }
+
+    /// Appends one segment's derived geometry.
+    pub fn push(&mut self, s: &Segment<D>) {
+        let v = s.vector();
+        let norm_sq = v.norm_squared();
+        self.starts.push(s.start);
+        self.ends.push(s.end);
+        self.dirs.push(v);
+        // `‖v‖² = Σ(e−s)² = Σ(s−e)²` exactly, so this √ is bit-identical
+        // to `Segment::length()`.
+        self.norms_sq.push(norm_sq);
+        self.lengths.push(norm_sq.sqrt());
+        self.midpoints.push(s.midpoint());
+    }
+
+    /// Number of cached segments.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// Cached length `‖Lᵢ‖` (bit-identical to `Segment::length()`).
+    pub fn length(&self, i: usize) -> f64 {
+        self.lengths[i]
+    }
+
+    /// Cached squared norm of the direction vector.
+    pub fn norm_squared(&self, i: usize) -> f64 {
+        self.norms_sq[i]
+    }
+
+    /// Cached start point.
+    pub fn start(&self, i: usize) -> Point<D> {
+        self.starts[i]
+    }
+
+    /// Cached end point.
+    pub fn end(&self, i: usize) -> Point<D> {
+        self.ends[i]
+    }
+
+    /// Cached raw direction vector `→se`.
+    pub fn direction(&self, i: usize) -> Vector<D> {
+        self.dirs[i]
+    }
+
+    /// Cached midpoint.
+    pub fn midpoint(&self, i: usize) -> Point<D> {
+        self.midpoints[i]
+    }
+
+    /// Reconstructs the segment at `i`.
+    pub fn segment(&self, i: usize) -> Segment<D> {
+        Segment::new(self.starts[i], self.ends[i])
+    }
+
+    /// All six arrays re-sliced to the common length, so the optimiser can
+    /// prove a clamped index is in bounds for *every* array (the parallel
+    /// `Vec`s have no shared-length invariant the compiler could see).
+    #[inline(always)]
+    fn view(&self) -> SoaView<'_, D> {
+        let n = self.starts.len();
+        SoaView {
+            starts: &self.starts[..n],
+            ends: &self.ends[..n],
+            dirs: &self.dirs[..n],
+            norms_sq: &self.norms_sq[..n],
+            lengths: &self.lengths[..n],
+            midpoints: &self.midpoints[..n],
+        }
+    }
+}
+
+/// Borrowed, equal-length slices of every [`SegmentSoa`] array — the form
+/// the hot kernels index so bounds checks vanish from their inner blocks.
+#[derive(Clone, Copy)]
+struct SoaView<'a, const D: usize> {
+    starts: &'a [Point<D>],
+    ends: &'a [Point<D>],
+    dirs: &'a [Vector<D>],
+    norms_sq: &'a [f64],
+    lengths: &'a [f64],
+    midpoints: &'a [Point<D>],
+}
+
+/// A segment prepared to play the base role `Lᵢ` (projection target) across
+/// many component evaluations: the per-query state the scalar path
+/// recomputes for every pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedBase<const D: usize> {
+    start: Point<D>,
+    end: Point<D>,
+    dir: Vector<D>,
+    norm_sq: f64,
+}
+
+impl<const D: usize> PreparedBase<D> {
+    /// Precomputes the projection setup of `base`.
+    pub fn new(base: &Segment<D>) -> Self {
+        let dir = base.vector();
+        Self {
+            start: base.start,
+            end: base.end,
+            dir,
+            norm_sq: dir.norm_squared(),
+        }
+    }
+}
+
+impl<const D: usize> From<&Segment<D>> for PreparedBase<D> {
+    fn from(s: &Segment<D>) -> Self {
+        Self::new(s)
+    }
+}
+
+impl SegmentDistance {
+    /// Batched weighted distances from `query` to each of `candidates`
+    /// (indices into `soa`), written into `out[k]` for `candidates[k]`.
+    ///
+    /// Role ordering matches `SegmentDatabase::distance`: the longer cached
+    /// length plays `Lᵢ`, exact ties resolved in favour of the smaller
+    /// index. Results are bit-identical to calling the scalar
+    /// [`SegmentDistance::distance_ordered`] with that ordering.
+    ///
+    /// # Panics
+    ///
+    /// When `out.len() != candidates.len()` or an index is out of bounds.
+    pub fn distance_many_into<const D: usize>(
+        &self,
+        soa: &SegmentSoa<D>,
+        query: u32,
+        candidates: &[u32],
+        out: &mut [f64],
+    ) {
+        assert_eq!(
+            candidates.len(),
+            out.len(),
+            "distance_many_into needs one output slot per candidate"
+        );
+        // `view` re-slices all six arrays to one shared length value, so a
+        // single bounds-checked `lengths` load per candidate (in `roles`)
+        // establishes `index < n` for *every* later array access — the
+        // kernel below then compiles to one branch-free basic block, which
+        // is what lets the SLP vectorizer pair its divisions and square
+        // roots into packed ops.
+        let view = soa.view();
+        let q = query as usize;
+        let q_len = view.lengths[q];
+        // Lemma 2 ordering on cached lengths, id tie-break. (Deliberately
+        // branchy: a predicted branch lets the role-dependent gathers
+        // issue speculatively, where a conditional move would serialise
+        // them behind the length compare — measured slower.)
+        let roles = |cand: u32| -> (usize, usize) {
+            let c = cand as usize;
+            let c_len = view.lengths[c];
+            if q_len > c_len {
+                (q, c)
+            } else if c_len > q_len {
+                (c, q)
+            } else if query <= cand {
+                (q, c)
+            } else {
+                (c, q)
+            }
+        };
+        // Two candidates per step: the kernel is bound by divider-unit
+        // throughput (4 divisions + 4 square roots per pair survive the
+        // exact rewrites), and two interleaved lanes of isomorphic scalar
+        // trees let LLVM's SLP vectorizer pair every one of them into a
+        // packed `divpd`/`sqrtpd` — same port cost as one scalar op.
+        let mut chunks = candidates.chunks_exact(2);
+        let mut slots = out.chunks_exact_mut(2);
+        for (pair, slot) in (&mut chunks).zip(&mut slots) {
+            let (li_a, lj_a) = roles(pair[0]);
+            let (li_b, lj_b) = roles(pair[1]);
+            let [s0, s1] = slot else {
+                unreachable!("chunks_exact_mut(2) yields exactly two slots")
+            };
+            if !lane2_kernel(
+                &view,
+                li_a,
+                lj_a,
+                li_b,
+                lj_b,
+                self.angle_mode,
+                &self.weights,
+                s0,
+                s1,
+            ) {
+                // A rare lane (degenerate geometry, exact collinearity):
+                // redo both through the fully-guarded kernel.
+                let (da, db) = rare_pair_fallback(
+                    &view,
+                    li_a,
+                    lj_a,
+                    li_b,
+                    lj_b,
+                    self.angle_mode,
+                    &self.weights,
+                );
+                *s0 = da;
+                *s1 = db;
+            }
+        }
+        // A possible leftover candidate: the guarded kernel, singly.
+        for (&cand, slot) in chunks.remainder().iter().zip(slots.into_remainder()) {
+            let (li, lj) = roles(cand);
+            *slot = batched_components(&view, li, lj, self.angle_mode).weighted(&self.weights);
+        }
+    }
+
+    /// [`Self::distance_many_into`] with `out` cleared and resized to match
+    /// `candidates`.
+    pub fn distance_many<const D: usize>(
+        &self,
+        soa: &SegmentSoa<D>,
+        query: u32,
+        candidates: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(candidates.len(), 0.0);
+        self.distance_many_into(soa, query, candidates, out);
+    }
+
+    /// The `(d⊥, dθ)` pair of [`Self::mdl_components`] with the base
+    /// segment's projection setup hoisted into `base` — Formula 7 evaluates
+    /// one hypothesis against every edge under it, so preparing once
+    /// amortises the setup *and* skips the parallel component (with its
+    /// four square roots) that the MDL cost discards anyway.
+    ///
+    /// Bit-identical to `self.mdl_components(base_segment, edge)`.
+    pub fn mdl_components_prepared<const D: usize>(
+        &self,
+        base: &PreparedBase<D>,
+        edge: &Segment<D>,
+    ) -> (f64, f64) {
+        if base.norm_sq <= 0.0 {
+            // Degenerate base: the whole positional difference is
+            // perpendicular (point-to-midpoint), no directional strength.
+            return (base.start.distance(&edge.midpoint()), 0.0);
+        }
+        let ps = project(&base.start, &base.dir, base.norm_sq, &edge.start);
+        let pe = project(&base.start, &base.dir, base.norm_sq, &edge.end);
+        let perpendicular = lehmer_mean_2(edge.start.distance(&ps), edge.end.distance(&pe));
+        let angle = angle_component(
+            &base.dir,
+            base.norm_sq,
+            &edge.vector(),
+            edge.vector().norm_squared(),
+            edge.length(),
+            self.angle_mode,
+        );
+        (perpendicular, angle)
+    }
+}
+
+/// Projection of `p` onto the supporting line through `start` along `dir`
+/// (Formula 4) — the same operation order as `Segment::project_onto_line`
+/// followed by `translate(scale(u))`.
+#[inline(always)]
+fn project<const D: usize>(
+    start: &Point<D>,
+    dir: &Vector<D>,
+    norm_sq: f64,
+    p: &Point<D>,
+) -> Point<D> {
+    let u = start.vector_to(p).dot(dir) / norm_sq;
+    start.translate(&dir.scale(u))
+}
+
+/// The angle distance `dθ` (Definition 3) from cached operands; mirrors the
+/// scalar `Vector::sin_angle` + mode dispatch exactly, reusing the single
+/// dot product for both the Gram determinant and the direction test.
+#[inline(always)]
+fn angle_component<const D: usize>(
+    vi: &Vector<D>,
+    vi_norm_sq: f64,
+    vj: &Vector<D>,
+    vj_norm_sq: f64,
+    lj_len: f64,
+    mode: AngleMode,
+) -> f64 {
+    if lj_len <= 0.0 {
+        return 0.0;
+    }
+    let denom = vi_norm_sq * vj_norm_sq;
+    if denom <= 0.0 {
+        // `sin_angle` is undefined for a zero vector (scalar path: None).
+        return 0.0;
+    }
+    let vw = vi.dot(vj);
+    let gram = (denom - vw * vw).max(0.0);
+    let sin_theta = (gram / denom).sqrt().clamp(0.0, 1.0);
+    match mode {
+        AngleMode::Directed => {
+            // Branchless select: `θ ≥ 90°` contributes the full length,
+            // i.e. a factor of exactly 1 (`x·1.0 ≡ x` in IEEE 754, so this
+            // stays bit-identical to the scalar two-arm branch while the
+            // data-dependent direction test becomes a conditional move).
+            let factor = if vw > 0.0 { sin_theta } else { 1.0 };
+            lj_len * factor
+        }
+        AngleMode::Undirected => lj_len * sin_theta,
+    }
+}
+
+/// Two independent (base, other) lane pairs evaluated in lockstep — every
+/// statement exists once per lane, adjacent and structurally identical, so
+/// the SLP vectorizer can fuse each division and square-root pair into one
+/// packed instruction. Lanes never mix: each lane's value sequence is the
+/// scalar sequence of [`batched_components`], so results stay bit-identical.
+/// Speculatively stores the two weighted distances through `s0`/`s1` —
+/// adjacent output slots, so the SLP vectorizer can seed its tree from the
+/// store pair — and returns `true` when the stored values are valid.
+///
+/// The hot path is one straight-line basic block: no degeneracy guards
+/// run before the stores, so every division and square root executes
+/// unconditionally and the vectorizer cannot sink them behind branches.
+/// Instead, one trailing check detects the rare lanes whose scalar
+/// version would have branched — degenerate base (no supporting line),
+/// zero Lehmer denominator (`lj` exactly on the base line, e.g. the query
+/// itself), degenerate `lj` — and returns `false`; the caller then redoes
+/// *both* lanes through the fully-guarded single-candidate kernel,
+/// overwriting the speculative NaN/∞ garbage. Valid lanes are
+/// bit-identical to the scalar path.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn lane2_kernel<const D: usize>(
+    soa: &SoaView<'_, D>,
+    li_a: usize,
+    lj_a: usize,
+    li_b: usize,
+    lj_b: usize,
+    mode: AngleMode,
+    weights: &DistanceWeights,
+    s0: &mut f64,
+    s1: &mut f64,
+) -> bool {
+    // Every gather up front: the indexed loads carry the (predicted
+    // never-taken) bounds-check branches, and grouping them here keeps the
+    // arithmetic below in one branch-free basic block — the shape the SLP
+    // vectorizer needs to pair the lanes' divisions and square roots.
+    let norm_a = soa.norms_sq[li_a];
+    let norm_b = soa.norms_sq[li_b];
+    let vi_a = soa.dirs[li_a];
+    let vi_b = soa.dirs[li_b];
+    let start_a = soa.starts[li_a];
+    let start_b = soa.starts[li_b];
+    let end_a = soa.ends[li_a];
+    let end_b = soa.ends[li_b];
+    let ts_a = soa.starts[lj_a];
+    let ts_b = soa.starts[lj_b];
+    let te_a = soa.ends[lj_a];
+    let te_b = soa.ends[lj_b];
+    let vj_a = soa.dirs[lj_a];
+    let vj_b = soa.dirs[lj_b];
+    let norm_lj_a = soa.norms_sq[lj_a];
+    let norm_lj_b = soa.norms_sq[lj_b];
+    let len_a = soa.lengths[lj_a];
+    let len_b = soa.lengths[lj_b];
+    let directed = matches!(mode, AngleMode::Directed);
+
+    // Projections of both endpoints, both lanes (Formula 4).
+    let u1_a = start_a.vector_to(&ts_a).dot(&vi_a) / norm_a;
+    let u1_b = start_b.vector_to(&ts_b).dot(&vi_b) / norm_b;
+    let u2_a = start_a.vector_to(&te_a).dot(&vi_a) / norm_a;
+    let u2_b = start_b.vector_to(&te_b).dot(&vi_b) / norm_b;
+    let ps_a = start_a.translate(&vi_a.scale(u1_a));
+    let ps_b = start_b.translate(&vi_b.scale(u1_b));
+    let pe_a = start_a.translate(&vi_a.scale(u2_a));
+    let pe_b = start_b.translate(&vi_b.scale(u2_b));
+
+    // Perpendicular offsets (Definition 1).
+    let perp1_a = ts_a.distance_squared(&ps_a).sqrt();
+    let perp1_b = ts_b.distance_squared(&ps_b).sqrt();
+    let perp2_a = te_a.distance_squared(&pe_a).sqrt();
+    let perp2_b = te_b.distance_squared(&pe_b).sqrt();
+
+    // Parallel gaps (Definition 2), min over squared gaps before one √.
+    let gap_a = ps_a
+        .distance_squared(&start_a)
+        .min(ps_a.distance_squared(&end_a))
+        .min(
+            pe_a.distance_squared(&start_a)
+                .min(pe_a.distance_squared(&end_a)),
+        );
+    let gap_b = ps_b
+        .distance_squared(&start_b)
+        .min(ps_b.distance_squared(&end_b))
+        .min(
+            pe_b.distance_squared(&start_b)
+                .min(pe_b.distance_squared(&end_b)),
+        );
+
+    // Angle operands (Definition 3).
+    let vw_a = vi_a.dot(&vj_a);
+    let vw_b = vi_b.dot(&vj_b);
+    let sin_den_a = norm_a * norm_lj_a;
+    let sin_den_b = norm_b * norm_lj_b;
+    let gram_a = (sin_den_a - vw_a * vw_a).max(0.0);
+    let gram_b = (sin_den_b - vw_b * vw_b).max(0.0);
+
+    let lehmer_den_a = perp1_a + perp2_a;
+    let lehmer_den_b = perp1_b + perp2_b;
+    let lehmer_q_a = (perp1_a * perp1_a + perp2_a * perp2_a) / lehmer_den_a;
+    let lehmer_q_b = (perp1_b * perp1_b + perp2_b * perp2_b) / lehmer_den_b;
+    let sin_q_a = gram_a / sin_den_a;
+    let sin_q_b = gram_b / sin_den_b;
+
+    let parallel_a = gap_a.sqrt();
+    let parallel_b = gap_b.sqrt();
+    let sin_root_a = sin_q_a.sqrt();
+    let sin_root_b = sin_q_b.sqrt();
+
+    // `θ ≥ 90°` contributes the full length, i.e. a factor of exactly 1
+    // (`x·1.0 ≡ x` in IEEE 754, so the select is bit-identical to the
+    // scalar two-arm branch). Both select operands are already computed,
+    // so this compiles to a conditional move, not a block split.
+    let sin_a = sin_root_a.clamp(0.0, 1.0);
+    let sin_b = sin_root_b.clamp(0.0, 1.0);
+    let dir_a = if vw_a > 0.0 { sin_a } else { 1.0 };
+    let dir_b = if vw_b > 0.0 { sin_b } else { 1.0 };
+    let factor_a = if directed { dir_a } else { sin_a };
+    let factor_b = if directed { dir_b } else { sin_b };
+    let angle_a = len_a * factor_a;
+    let angle_b = len_b * factor_b;
+
+    *s0 = DistanceComponents {
+        perpendicular: lehmer_q_a,
+        parallel: parallel_a,
+        angle: angle_a,
+    }
+    .weighted(weights);
+    *s1 = DistanceComponents {
+        perpendicular: lehmer_q_b,
+        parallel: parallel_b,
+        angle: angle_b,
+    }
+    .weighted(weights);
+
+    // The scalar path short-circuits on any of these (returning exact
+    // zeros for the affected components); redo such lanes the guarded way.
+    let rare = (norm_a <= 0.0)
+        | (norm_b <= 0.0)
+        | (lehmer_den_a <= 0.0)
+        | (lehmer_den_b <= 0.0)
+        | (len_a <= 0.0)
+        | (len_b <= 0.0)
+        // `sin_den` can underflow to zero for tiny-but-proper segments;
+        // the scalar path short-circuits there too.
+        | (sin_den_a <= 0.0)
+        | (sin_den_b <= 0.0);
+    !rare
+}
+
+/// Cold path for a lane pair whose speculative results were invalid
+/// (degenerate geometry or exact collinearity): defer to the
+/// single-candidate kernel, which guards every branch the scalar path has.
+#[cold]
+#[inline(never)]
+fn rare_pair_fallback<const D: usize>(
+    soa: &SoaView<'_, D>,
+    li_a: usize,
+    lj_a: usize,
+    li_b: usize,
+    lj_b: usize,
+    mode: AngleMode,
+    weights: &DistanceWeights,
+) -> (f64, f64) {
+    (
+        batched_components(soa, li_a, lj_a, mode).weighted(weights),
+        batched_components(soa, li_b, lj_b, mode).weighted(weights),
+    )
+}
+
+/// `components_with_roles` over cached geometry: `li` is the base segment.
+#[inline(always)]
+fn batched_components<const D: usize>(
+    soa: &SoaView<'_, D>,
+    li: usize,
+    lj: usize,
+    mode: AngleMode,
+) -> DistanceComponents {
+    let norm_sq = soa.norms_sq[li];
+    if norm_sq <= 0.0 {
+        return DistanceComponents {
+            perpendicular: soa.starts[li].distance(&soa.midpoints[lj]),
+            parallel: 0.0,
+            angle: 0.0,
+        };
+    }
+    let li_start = soa.starts[li];
+    let li_end = soa.ends[li];
+    let vi = soa.dirs[li];
+    let lj_start = soa.starts[lj];
+    let lj_end = soa.ends[lj];
+
+    // Both endpoint projections in lockstep `[f64; 2]` lanes: the divider
+    // unit is the kernel's throughput bottleneck, and pairing the two
+    // independent divisions (and the two perpendicular square roots below)
+    // lets LLVM's SLP vectorizer emit one packed `divpd`/`sqrtpd` with the
+    // same port cost as a single scalar op. Lanes never interact, so every
+    // lane result is bit-identical to the scalar sequence.
+    let u = [
+        li_start.vector_to(&lj_start).dot(&vi) / norm_sq,
+        li_start.vector_to(&lj_end).dot(&vi) / norm_sq,
+    ];
+    let ps = li_start.translate(&vi.scale(u[0]));
+    let pe = li_start.translate(&vi.scale(u[1]));
+
+    let perp_sq = [lj_start.distance_squared(&ps), lj_end.distance_squared(&pe)];
+    let perp = [perp_sq[0].sqrt(), perp_sq[1].sqrt()];
+
+    // Definition 2 as one √ instead of four: min over squared gaps first
+    // (exact — √ is monotone and correctly rounded on non-negatives).
+    let gap1 = ps
+        .distance_squared(&li_start)
+        .min(ps.distance_squared(&li_end));
+    let gap2 = pe
+        .distance_squared(&li_start)
+        .min(pe.distance_squared(&li_end));
+    let gap_min = gap1.min(gap2);
+
+    // Remaining divider work packed two-by-two as well: the Lehmer-mean
+    // division (Definition 1) pairs with the Gram-determinant division of
+    // `sin θ` (Definition 3), and the parallel-gap root pairs with the
+    // `sin θ` root. The divisions run speculatively — a lane whose scalar
+    // branch would have short-circuited (zero Lehmer denominator,
+    // degenerate `lj`) yields NaN/∞ that the selects below discard, so
+    // every surviving lane is still bit-identical to the scalar path.
+    let lehmer_den = perp[0] + perp[1];
+    let vj = soa.dirs[lj];
+    let vw = vi.dot(&vj);
+    let sin_den = norm_sq * soa.norms_sq[lj];
+    let gram = (sin_den - vw * vw).max(0.0);
+    let quot = [
+        (perp[0] * perp[0] + perp[1] * perp[1]) / lehmer_den,
+        gram / sin_den,
+    ];
+    let root = [gap_min.sqrt(), quot[1].sqrt()];
+
+    let perpendicular = if lehmer_den <= 0.0 { 0.0 } else { quot[0] };
+    let parallel = root[0];
+    let lj_len = soa.lengths[lj];
+    let angle = if lj_len <= 0.0 || sin_den <= 0.0 {
+        // Scalar path: zero-length `lj` has no directional strength, and
+        // `sin_angle` is undefined (None) for a zero vector.
+        0.0
+    } else {
+        let sin_theta = root[1].clamp(0.0, 1.0);
+        match mode {
+            AngleMode::Directed => {
+                if vw > 0.0 {
+                    lj_len * sin_theta
+                } else {
+                    lj_len
+                }
+            }
+            AngleMode::Undirected => lj_len * sin_theta,
+        }
+    };
+
+    DistanceComponents {
+        perpendicular,
+        parallel,
+        angle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceWeights;
+    use crate::segment::Segment2;
+
+    fn sample_segments() -> Vec<Segment2> {
+        vec![
+            Segment2::xy(0.0, 0.0, 10.0, 0.0),
+            Segment2::xy(2.0, 1.0, 8.0, 1.0),
+            Segment2::xy(0.0, 2.0, 10.0, 2.5),
+            Segment2::xy(5.0, 5.0, 5.0, 5.0), // degenerate
+            Segment2::xy(100.0, -3.0, 90.0, 4.0),
+            Segment2::xy(0.0, 0.0, 0.0, 10.0), // equal length to id 0
+            Segment2::xy(1.0, 1.0, 1.0, 1.0),  // second degenerate
+        ]
+    }
+
+    /// The scalar reference with the same role rule as the batch kernel:
+    /// cached-length ordering, index tie-break.
+    fn scalar_reference(dist: &SegmentDistance, segs: &[Segment2], a: usize, b: usize) -> f64 {
+        let la = segs[a].length();
+        let lb = segs[b].length();
+        let (i, j) = if la > lb {
+            (a, b)
+        } else if lb > la {
+            (b, a)
+        } else if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        dist.distance_ordered(&segs[i], &segs[j])
+    }
+
+    #[test]
+    fn batched_distances_bit_identical_to_scalar() {
+        let segs = sample_segments();
+        let soa = SegmentSoa::from_segments(segs.iter());
+        let candidates: Vec<u32> = (0..segs.len() as u32).collect();
+        let weight_sets = [
+            DistanceWeights::uniform(),
+            DistanceWeights::new(2.0, 0.5, 3.0),
+            DistanceWeights::new(0.0, 1.0, 1.0),
+            DistanceWeights::new(1.0, 0.0, 0.0),
+        ];
+        for weights in weight_sets {
+            for mode in [AngleMode::Directed, AngleMode::Undirected] {
+                let dist = SegmentDistance::new(weights, mode);
+                let mut out = Vec::new();
+                for q in 0..segs.len() {
+                    dist.distance_many(&soa, q as u32, &candidates, &mut out);
+                    for (c, &d) in out.iter().enumerate() {
+                        let expected = scalar_reference(&dist, &segs, q, c);
+                        assert_eq!(
+                            d.to_bits(),
+                            expected.to_bits(),
+                            "batch != scalar at ({q},{c}) with {weights:?} {mode:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_self_distance_is_zero() {
+        let segs = sample_segments();
+        let soa = SegmentSoa::from_segments(segs.iter());
+        let dist = SegmentDistance::default();
+        let mut out = Vec::new();
+        for q in 0..segs.len() as u32 {
+            dist.distance_many(&soa, q, &[q], &mut out);
+            assert_eq!(out[0], 0.0, "dist(L, L) must be exactly 0 for {q}");
+        }
+    }
+
+    #[test]
+    fn distance_many_into_slice_variant() {
+        let segs = sample_segments();
+        let soa = SegmentSoa::from_segments(segs.iter());
+        let dist = SegmentDistance::default();
+        let candidates = [1u32, 4, 2];
+        let mut out = [0.0f64; 3];
+        dist.distance_many_into(&soa, 0, &candidates, &mut out);
+        let mut vec_out = Vec::new();
+        dist.distance_many(&soa, 0, &candidates, &mut vec_out);
+        assert_eq!(out.as_slice(), vec_out.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot")]
+    fn mismatched_output_length_rejected() {
+        let segs = sample_segments();
+        let soa = SegmentSoa::from_segments(segs.iter());
+        let mut out = [0.0f64; 1];
+        SegmentDistance::default().distance_many_into(&soa, 0, &[0, 1], &mut out);
+    }
+
+    #[test]
+    fn prepared_mdl_components_bit_identical() {
+        let segs = sample_segments();
+        let dist = SegmentDistance::default();
+        for base_seg in &segs {
+            let base = PreparedBase::new(base_seg);
+            for edge in &segs {
+                let (perp, angle) = dist.mdl_components_prepared(&base, edge);
+                let (sp, sa) = dist.mdl_components(base_seg, edge);
+                assert_eq!(perp.to_bits(), sp.to_bits());
+                assert_eq!(angle.to_bits(), sa.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn soa_accessors_round_trip() {
+        let segs = sample_segments();
+        let soa = SegmentSoa::from_segments(segs.iter());
+        assert_eq!(soa.len(), segs.len());
+        assert!(!soa.is_empty());
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(soa.segment(i), *s);
+            assert_eq!(soa.start(i), s.start);
+            assert_eq!(soa.end(i), s.end);
+            assert_eq!(soa.direction(i), s.vector());
+            assert_eq!(soa.length(i).to_bits(), s.length().to_bits());
+            assert_eq!(soa.norm_squared(i), s.vector().norm_squared());
+            assert_eq!(soa.midpoint(i), s.midpoint());
+        }
+        assert!(SegmentSoa::<2>::new().is_empty());
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`SegmentDistance`] — the composite perpendicular/parallel/angle
 //!   distance of Definitions 1–3, plus the naive
 //!   [`endpoint_sum_distance`] of Appendix A for comparison;
+//! * [`SegmentSoa`] / [`PreparedBase`] — the structure-of-arrays geometry
+//!   cache and batched `distance_many` / prepared-MDL kernels that hoist
+//!   the per-query projection setup out of candidate loops (bit-identical
+//!   to the scalar path; see [`batch`]);
 //! * [`Trajectory`] / [`IdentifiedSegment`] — identified point sequences
 //!   and trajectory partitions (Definition 10 needs segment→trajectory
 //!   provenance);
@@ -27,6 +31,7 @@
 #![allow(clippy::needless_range_loop)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod bbox;
 pub mod distance;
 pub mod frame;
@@ -34,6 +39,7 @@ pub mod point;
 pub mod segment;
 pub mod trajectory;
 
+pub use batch::{PreparedBase, SegmentSoa};
 pub use bbox::{Aabb, Aabb2};
 pub use distance::{
     endpoint_sum_distance, lehmer_mean_2, order_by_length, AngleMode, DistanceComponents,

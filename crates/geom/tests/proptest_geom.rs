@@ -1,7 +1,10 @@
 //! Property-based tests of the geometry kernel.
 
 use proptest::prelude::*;
-use traclus_geom::{Aabb, OrthonormalFrame, Point2, Segment2, SegmentDistance, Vector2};
+use traclus_geom::{
+    Aabb, AngleMode, DistanceWeights, OrthonormalFrame, Point2, PreparedBase, Segment2,
+    SegmentDistance, SegmentSoa, Vector2,
+};
 
 fn coord() -> impl Strategy<Value = f64> {
     -1000.0..1000.0f64
@@ -16,6 +19,23 @@ prop_compose! {
 prop_compose! {
     fn segment()(a in point(), b in point()) -> Segment2 {
         Segment2::new(a, b)
+    }
+}
+
+prop_compose! {
+    /// A segment that is occasionally degenerate (start == end), so the
+    /// batched kernel's rare-lane fallback gets exercised.
+    fn segment_maybe_degenerate()(s in segment(), sel in 0u8..8) -> Segment2 {
+        if sel == 0 { Segment2::new(s.start, s.start) } else { s }
+    }
+}
+
+prop_compose! {
+    /// A non-negative component weight, zero with probability 1/4 — zero
+    /// `w∥`/`w⊥` are the degenerate cases the index filter must respect
+    /// and the batched kernel must reproduce exactly.
+    fn weight()(sel in 0u8..4, w in 0.01..5.0f64) -> f64 {
+        if sel == 0 { 0.0 } else { w }
     }
 }
 
@@ -122,5 +142,57 @@ proptest! {
         let d0 = dist.distance(&a, &b);
         let d1 = dist.distance(&a.reversed(), &b.reversed());
         prop_assert!((d0 - d1).abs() < 1e-6 * (1.0 + d0));
+    }
+
+    #[test]
+    fn distance_many_bit_identical_to_scalar(
+        segs in prop::collection::vec(segment_maybe_degenerate(), 1..24),
+        wp in weight(), wl in weight(), wa in weight(),
+        mode_sel in 0u8..2,
+    ) {
+        // The batched kernel's contract: for every (query, candidate)
+        // pair, the same bits as the scalar path under the same role
+        // ordering (cached length, index tie-break).
+        let mode = if mode_sel == 0 { AngleMode::Directed } else { AngleMode::Undirected };
+        let dist = SegmentDistance::new(DistanceWeights::new(wp, wl, wa), mode);
+        let soa = SegmentSoa::from_segments(segs.iter());
+        let candidates: Vec<u32> = (0..segs.len() as u32).collect();
+        let mut out = Vec::new();
+        for q in 0..segs.len() {
+            dist.distance_many(&soa, q as u32, &candidates, &mut out);
+            prop_assert_eq!(out.len(), segs.len());
+            for (c, &got) in out.iter().enumerate() {
+                let (la, lb) = (segs[q].length(), segs[c].length());
+                let (i, j) = if la > lb {
+                    (q, c)
+                } else if lb > la {
+                    (c, q)
+                } else if q <= c {
+                    (q, c)
+                } else {
+                    (c, q)
+                };
+                let expected = dist.distance_ordered(&segs[i], &segs[j]);
+                prop_assert_eq!(got.to_bits(), expected.to_bits(),
+                    "batch != scalar at ({}, {}): {} vs {}", q, c, got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_mdl_components_bit_identical(
+        base in segment_maybe_degenerate(),
+        edges in prop::collection::vec(segment_maybe_degenerate(), 1..12),
+        mode_sel in 0u8..2,
+    ) {
+        let mode = if mode_sel == 0 { AngleMode::Directed } else { AngleMode::Undirected };
+        let dist = SegmentDistance::new(DistanceWeights::uniform(), mode);
+        let prepared = PreparedBase::new(&base);
+        for edge in &edges {
+            let (p, a) = dist.mdl_components_prepared(&prepared, edge);
+            let (sp, sa) = dist.mdl_components(&base, edge);
+            prop_assert_eq!(p.to_bits(), sp.to_bits(), "perpendicular differs");
+            prop_assert_eq!(a.to_bits(), sa.to_bits(), "angle differs");
+        }
     }
 }

@@ -76,6 +76,17 @@ pub trait SpatialIndex<const D: usize> {
     /// `window`. `out` is *not* cleared; ids may appear at most once.
     fn query_into(&self, window: &Aabb<D>, out: &mut Vec<u32>);
 
+    /// [`Self::query_into`] with the appended candidates left in ascending
+    /// id order — the deterministic handoff the refinement stage needs
+    /// before feeding candidates to the batched distance kernel. Only the
+    /// appended suffix is sorted; any existing prefix of `out` keeps its
+    /// order (same append contract as `query_into`).
+    fn query_sorted_into(&self, window: &Aabb<D>, out: &mut Vec<u32>) {
+        let start = out.len();
+        self.query_into(window, out);
+        out[start..].sort_unstable();
+    }
+
     /// Number of indexed entries.
     fn len(&self) -> usize;
 
@@ -183,6 +194,25 @@ mod tests {
                 "bound violated: dmin={dmin} > r={r} for dist={d}"
             );
         }
+    }
+
+    #[test]
+    fn query_sorted_into_orders_candidates() {
+        // Insertion order deliberately scrambled relative to id order.
+        let entries = vec![
+            (9, Aabb::new([0.0, 0.0], [1.0, 1.0])),
+            (2, Aabb::new([0.2, 0.2], [0.8, 0.8])),
+            (7, Aabb::new([0.4, 0.4], [0.6, 0.6])),
+        ];
+        let idx = LinearScanIndex::build(entries);
+        let mut out = Vec::new();
+        idx.query_sorted_into(&Aabb::new([0.45, 0.45], [0.55, 0.55]), &mut out);
+        assert_eq!(out, vec![2, 7, 9]);
+        // Append contract: an existing prefix keeps its order; only the
+        // newly appended suffix is sorted.
+        let mut out = vec![99, 1];
+        idx.query_sorted_into(&Aabb::new([0.45, 0.45], [0.55, 0.55]), &mut out);
+        assert_eq!(out, vec![99, 1, 2, 7, 9]);
     }
 
     #[test]
