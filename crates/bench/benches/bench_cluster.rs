@@ -1,10 +1,14 @@
 //! Lemma 3 micro-benchmark: line-segment clustering with and without a
 //! spatial index (linear scan = the O(n²) arm; grid and R-tree = the
-//! O(n log n) arm).
+//! O(n log n) arm), plus the sharded parallel path across thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use traclus_bench::experiments::scaling::scaled_database;
-use traclus_core::{ClusterConfig, IndexKind, LineSegmentClustering};
+use traclus_core::{
+    ClusterConfig, IndexKind, LineSegmentClustering, PartitionConfig, SegmentDatabase,
+};
+use traclus_data::{HurricaneConfig, HurricaneGenerator};
+use traclus_geom::SegmentDistance;
 
 fn bench_cluster(c: &mut Criterion) {
     for (kind, label) in [
@@ -33,5 +37,50 @@ fn bench_cluster(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_cluster);
+/// Sequential vs sharded-parallel grouping on the 32-trajectory hurricane
+/// workload (t = 1 is the sequential Figure 12 loop; larger t take the
+/// split/merge path). On a ≥ 4-core runner t = 4 should beat t = 1 by
+/// ≥ 1.5×; outputs are identical by construction, so this measures pure
+/// wall-clock.
+fn bench_cluster_parallel(c: &mut Criterion) {
+    let tracks = HurricaneGenerator::new(HurricaneConfig {
+        tracks: 32,
+        seed: 2007,
+        ..HurricaneConfig::default()
+    })
+    .generate();
+    let db = SegmentDatabase::from_trajectories(
+        &tracks,
+        &PartitionConfig::default(),
+        SegmentDistance::default(),
+    );
+    let config = ClusterConfig::new(5.0, 5);
+    let mut group = c.benchmark_group("cluster/parallel_hurricane32");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| LineSegmentClustering::new(&db, config).run_parallel(threads)),
+        );
+    }
+    group.finish();
+
+    // Same sweep on the constant-density scaled scene, a heavier load
+    // where the per-seed neighborhood work dominates the merge overhead.
+    let db = scaled_database(2000, 5);
+    let config = ClusterConfig::new(7.0, 6);
+    let mut group = c.benchmark_group("cluster/parallel_scaled2000");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| LineSegmentClustering::new(&db, config).run_parallel(threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster, bench_cluster_parallel);
 criterion_main!(benches);

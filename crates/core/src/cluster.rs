@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 use traclus_geom::TrajectoryId;
 
+use crate::params::Parallelism;
 use crate::segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
 
 /// Identifier of a cluster in a [`Clustering`].
@@ -55,6 +56,11 @@ pub struct ClusterConfig {
     pub weighted: bool,
     /// Acceleration structure for ε-neighborhood queries.
     pub index: IndexKind,
+    /// Worker threads for [`LineSegmentClustering::run_configured`]: the
+    /// sharded parallel path when it resolves to ≥ 2, the sequential
+    /// Figure 12 loop otherwise. Either way the resulting [`Clustering`]
+    /// is identical.
+    pub parallelism: Parallelism,
 }
 
 impl ClusterConfig {
@@ -66,10 +72,11 @@ impl ClusterConfig {
             min_trajectories: None,
             weighted: false,
             index: IndexKind::default(),
+            parallelism: Parallelism::default(),
         }
     }
 
-    fn trajectory_threshold(&self) -> usize {
+    pub(crate) fn trajectory_threshold(&self) -> usize {
         self.min_trajectories
             .unwrap_or_else(|| self.min_lns.ceil() as usize)
     }
@@ -117,6 +124,16 @@ impl Clustering {
             .collect()
     }
 
+    /// Number of segments labelled noise. Counts labels in place, so tests,
+    /// examples, and quality statistics no longer materialise the
+    /// [`Self::noise`] id vector just to `.len()` it.
+    pub fn noise_count(&self) -> usize {
+        self.labels
+            .iter()
+            .filter(|l| matches!(l, SegmentLabel::Noise))
+            .count()
+    }
+
     /// Fraction of segments labelled noise. Counts labels in place — this
     /// runs inside the parameter-sweep experiment loops, where building the
     /// full [`Self::noise`] id vector per configuration was pure waste.
@@ -124,13 +141,13 @@ impl Clustering {
         if self.labels.is_empty() {
             0.0
         } else {
-            let noise = self
-                .labels
-                .iter()
-                .filter(|l| matches!(l, SegmentLabel::Noise))
-                .count();
-            noise as f64 / self.labels.len() as f64
+            self.noise_count() as f64 / self.labels.len() as f64
         }
+    }
+
+    /// Member count of every cluster, in cluster-id order.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.members.len()).collect()
     }
 
     /// Mean cluster size in segments (the Section 5.4 statistic).
@@ -223,45 +240,41 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
             }
         }
 
-        // Step 3 (lines 13–16): gather members, apply the trajectory
-        // cardinality filter, renumber densely.
-        let mut members_by_raw: Vec<Vec<u32>> = vec![Vec::new(); cluster_id as usize];
-        for (seg, assignment) in raw.iter().enumerate() {
-            if let Some(c) = assignment {
-                members_by_raw[*c as usize].push(seg as u32);
-            }
+        // Step 3 (lines 13–16), shared with the parallel path.
+        finalize_raw(
+            self.db,
+            &raw,
+            cluster_id,
+            self.config.trajectory_threshold(),
+        )
+    }
+
+    /// Runs the grouping phase over `threads` worker threads and returns a
+    /// [`Clustering`] **identical** to [`Self::run`] — the sharded
+    /// split/merge design and the equivalence argument live in
+    /// [`crate::shard`]. `threads ≤ 1` takes the sequential path directly.
+    pub fn run_parallel(&self, threads: usize) -> Clustering {
+        if threads <= 1 || self.db.len() <= 1 {
+            return self.run();
         }
-        let threshold = self.config.trajectory_threshold();
-        let mut labels = vec![SegmentLabel::Noise; n];
-        let mut clusters = Vec::new();
-        let mut filtered_out = 0usize;
-        for members in members_by_raw {
-            if members.is_empty() {
-                continue;
-            }
-            let mut trajectories: Vec<TrajectoryId> =
-                members.iter().map(|&m| self.db.trajectory_of(m)).collect();
-            trajectories.sort_unstable();
-            trajectories.dedup();
-            if trajectories.len() < threshold {
-                filtered_out += 1; // line 16: cluster removed; members → noise
-                continue;
-            }
-            let id = ClusterId(clusters.len() as u32);
-            for &m in &members {
-                labels[m as usize] = SegmentLabel::Cluster(id);
-            }
-            clusters.push(Cluster {
-                id,
-                members,
-                trajectories,
-            });
-        }
-        Clustering {
-            labels,
-            clusters,
-            filtered_out,
-        }
+        crate::shard::run_sharded(self.db, &self.config, threads)
+    }
+
+    /// Dispatches on the configured [`Parallelism`] knob: the sequential
+    /// loop when it resolves to one thread, the sharded parallel path
+    /// otherwise.
+    ///
+    /// Unlike the explicit [`Self::run_parallel`], the automatic path caps
+    /// the worker count so every shard holds a meaningful slice of the
+    /// database — on small inputs spawn + merge overhead would otherwise
+    /// eat the parallel gain (the output is identical either way, so this
+    /// is purely a scheduling decision).
+    pub fn run_configured(&self) -> Clustering {
+        /// Fewer segments than this per worker and the parallel path stops
+        /// paying for itself.
+        const MIN_SEGMENTS_PER_SHARD: usize = 64;
+        let cap = (self.db.len() / MIN_SEGMENTS_PER_SHARD).max(1);
+        self.run_parallel(self.config.parallelism.thread_count().min(cap))
     }
 
     /// Lines 17–28: BFS expansion of a density-connected set.
@@ -303,6 +316,56 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
     }
 }
 
+/// Step 3 of Figure 12 (lines 13–16), shared by the sequential and sharded
+/// parallel paths: gather members per raw cluster id, apply the
+/// trajectory-cardinality filter, renumber densely, and build the final
+/// label array. Member lists come out ascending because segments are
+/// scanned in id order.
+pub(crate) fn finalize_raw<const D: usize>(
+    db: &SegmentDatabase<D>,
+    raw: &[Option<u32>],
+    raw_cluster_count: u32,
+    threshold: usize,
+) -> Clustering {
+    let n = raw.len();
+    let mut members_by_raw: Vec<Vec<u32>> = vec![Vec::new(); raw_cluster_count as usize];
+    for (seg, assignment) in raw.iter().enumerate() {
+        if let Some(c) = assignment {
+            members_by_raw[*c as usize].push(seg as u32);
+        }
+    }
+    let mut labels = vec![SegmentLabel::Noise; n];
+    let mut clusters = Vec::new();
+    let mut filtered_out = 0usize;
+    for members in members_by_raw {
+        if members.is_empty() {
+            continue;
+        }
+        let mut trajectories: Vec<TrajectoryId> =
+            members.iter().map(|&m| db.trajectory_of(m)).collect();
+        trajectories.sort_unstable();
+        trajectories.dedup();
+        if trajectories.len() < threshold {
+            filtered_out += 1; // line 16: cluster removed; members → noise
+            continue;
+        }
+        let id = ClusterId(clusters.len() as u32);
+        for &m in &members {
+            labels[m as usize] = SegmentLabel::Cluster(id);
+        }
+        clusters.push(Cluster {
+            id,
+            members,
+            trajectories,
+        });
+    }
+    Clustering {
+        labels,
+        clusters,
+        filtered_out,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,7 +404,8 @@ mod tests {
         assert_eq!(clustering.clusters.len(), 1);
         assert_eq!(clustering.clusters[0].members.len(), 6);
         assert_eq!(clustering.clusters[0].trajectory_cardinality(), 6);
-        assert_eq!(clustering.noise().len(), 0);
+        assert_eq!(clustering.noise_count(), 0);
+        assert_eq!(clustering.cluster_sizes(), vec![6]);
     }
 
     #[test]
@@ -368,6 +432,7 @@ mod tests {
         assert_eq!(clustering.clusters.len(), 1);
         let noise = clustering.noise();
         assert_eq!(noise, vec![5], "the outlier is noise");
+        assert_eq!(clustering.noise_count(), noise.len());
         assert!((clustering.noise_ratio() - 1.0 / 6.0).abs() < 1e-12);
     }
 
@@ -382,7 +447,7 @@ mod tests {
         let clustering = LineSegmentClustering::new(&database, ClusterConfig::new(1.5, 3)).run();
         assert!(clustering.clusters.is_empty());
         assert_eq!(clustering.filtered_out, 1);
-        assert_eq!(clustering.noise().len(), 6, "filtered members become noise");
+        assert_eq!(clustering.noise_count(), 6, "filtered members become noise");
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod partition;
 pub mod quality;
 pub mod representative;
 pub mod segment_db;
+pub mod shard;
 pub mod simplify;
 
 use traclus_geom::{SegmentDistance, Trajectory};
@@ -54,7 +55,7 @@ pub use cluster::{
 };
 pub use params::{
     select_eps_annealing, select_min_lns, EntropyCurve, EntropyPoint, EpsSelection,
-    NeighborhoodStats,
+    NeighborhoodStats, Parallelism,
 };
 pub use partition::{
     approximate_partition, optimal_partition, partition_precision, partition_trajectories, MdlCost,
@@ -65,6 +66,7 @@ pub use representative::{
     average_direction_vector, representative_trajectory, RepresentativeConfig,
 };
 pub use segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
+pub use shard::ShardPlan;
 pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
 
 /// End-to-end configuration of the TRACLUS pipeline (Figure 4).
@@ -90,6 +92,12 @@ pub struct TraclusConfig {
     /// pragmatic default keeping representatives readable (the paper leaves
     /// γ as a free input to Figure 15).
     pub smoothing: Option<f64>,
+    /// Worker threads for the grouping phase. The default uses all
+    /// available hardware threads through the sharded parallel path, which
+    /// produces the identical clustering to the sequential loop (see
+    /// [`shard`]); set [`Parallelism::Sequential`] to force the Figure 12
+    /// single-threaded scan.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TraclusConfig {
@@ -103,6 +111,7 @@ impl Default for TraclusConfig {
             min_trajectories: None,
             weighted: false,
             smoothing: None,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -184,9 +193,10 @@ impl Traclus {
                 min_trajectories: cfg.min_trajectories,
                 weighted: cfg.weighted,
                 index: cfg.index,
+                parallelism: cfg.parallelism,
             },
         )
-        .run();
+        .run_configured();
         // Representative trajectories (lines 5–6).
         let mut rep_config =
             RepresentativeConfig::new(cfg.min_lns, cfg.smoothing.unwrap_or(cfg.eps * 0.25));

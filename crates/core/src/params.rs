@@ -9,11 +9,47 @@
 //! curves) or by simulated annealing, as in the paper.
 //!
 //! The `MinLns` heuristic: `avg|Nε(L)| + 1 … + 3` at the chosen ε.
+//!
+//! This module also hosts [`Parallelism`], the execution-parameter knob of
+//! the grouping phase (how many worker threads the sharded parallel
+//! clustering path uses) — a run-time parameter alongside the paper's
+//! statistical ones.
 
+use std::num::NonZeroUsize;
 use std::ops::RangeInclusive;
 
 use crate::anneal::{minimize_1d, AnnealConfig};
 use crate::segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
+
+/// Thread-count knob for the grouping phase.
+///
+/// `Sequential` (and any resolved count of 1) takes the exact Figure 12
+/// sequential loop; anything larger takes the sharded parallel path, which
+/// produces the identical [`crate::Clustering`] (see
+/// `crate::shard`). The default uses every available hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One thread: the sequential Figure 12 loop, bit-for-bit.
+    Sequential,
+    /// A fixed number of worker threads (0 is treated as 1).
+    Threads(usize),
+    /// `std::thread::available_parallelism()` workers (the default).
+    #[default]
+    Available,
+}
+
+impl Parallelism {
+    /// The resolved worker-thread count (always ≥ 1).
+    pub fn thread_count(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(t) => t.max(1),
+            Parallelism::Available => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
 
 /// Neighborhood statistics of the whole database at one ε.
 #[derive(Debug, Clone, PartialEq)]

@@ -118,6 +118,17 @@ impl<const D: usize> SegmentDatabase<D> {
         self.soa.length(id as usize)
     }
 
+    /// Cached midpoint of a segment's MBR (used by the sharded parallel
+    /// path to assign segments to spatial tiles).
+    pub fn midpoint(&self, id: u32) -> traclus_geom::Point<D> {
+        self.soa.midpoint(id as usize)
+    }
+
+    /// Cached bounding box of a segment.
+    pub fn bbox_of(&self, id: u32) -> &Aabb<D> {
+        &self.bboxes[id as usize]
+    }
+
     /// The structure-of-arrays geometry cache (contiguous starts, ends,
     /// directions, squared norms, lengths, midpoints), built once at
     /// construction for the batched distance kernel.

@@ -1,0 +1,475 @@
+//! Sharded parallel grouping phase: split the segment database into
+//! spatial shards, cluster shards concurrently, merge border clusters.
+//!
+//! The split/merge framing follows the parallel-DBSCAN literature
+//! (partition the database spatially, run ε-expansion per partition, then
+//! reconcile clusters that span partition borders with a union-find pass).
+//! The crucial property is that the output is **identical** to the
+//! sequential Figure 12 loop in [`crate::cluster`], not merely similar:
+//!
+//! 1. *Core-ness is intrinsic.* Whether `|Nε(L)| ≥ MinLns` depends only on
+//!    the database, never on visit order, and every shard evaluates
+//!    neighborhoods against the **whole** database through the shared
+//!    spatial index — a shard owns seeds, not query scopes.
+//! 2. *Clusters are components.* In the sequential algorithm every core
+//!    segment reachable through core-to-core ε-links joins the same
+//!    cluster, so clusters restricted to cores are exactly the connected
+//!    components of the core-adjacency graph — again order-free. Raw
+//!    cluster ids fall out of the seed scan in ascending-id order, i.e.
+//!    components are numbered by their minimum core id.
+//! 3. *Borders go to the earliest cluster.* A non-core segment within ε of
+//!    cores from several components is claimed by the component that seeds
+//!    first — the one with the smallest raw id (the PR 2 "stolen border"
+//!    semantics). The merge pass reproduces this with a `min` over all
+//!    claiming components, which is order-independent.
+//!
+//! Hence the parallel path recomputes the same `raw` assignment the
+//! sequential scan produces and hands it to the shared finalisation step
+//! (trajectory-cardinality filter + dense renumbering). The equivalence is
+//! locked down by `tests/parallel_equivalence.rs` and the property suite.
+
+use traclus_index::TileGrid;
+
+use crate::cluster::{finalize_raw, ClusterConfig, Clustering};
+use crate::segment_db::{NeighborIndex, SegmentDatabase};
+
+/// Tiles allocated per worker shard: oversampling lets the packing step
+/// balance segment counts even when density varies across the bbox.
+const TILE_OVERSAMPLING: usize = 4;
+
+/// How the database is split for one parallel run: a [`TileGrid`] over the
+/// database bounding box assigns every segment to the tile containing its
+/// MBR midpoint; tiles are packed, in row-major order, into `shards`
+/// groups of roughly equal segment count.
+#[derive(Debug, Clone)]
+pub struct ShardPlan<const D: usize> {
+    grid: TileGrid<D>,
+    /// Tile index per segment id.
+    tile_of: Vec<u32>,
+    /// Shard index per segment id.
+    shard_of: Vec<u32>,
+    /// Position of each segment within its shard's member list.
+    local_index: Vec<u32>,
+    /// Member segment ids per shard, ascending.
+    shards: Vec<Vec<u32>>,
+}
+
+impl<const D: usize> ShardPlan<D> {
+    /// Plans `shards` shards over the database (at least 1; empty shards
+    /// are possible when segments cluster into few tiles).
+    pub fn new(db: &SegmentDatabase<D>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let n = db.len();
+        let grid = TileGrid::cover(&db.bounding_box(), shards * TILE_OVERSAMPLING);
+        let tile_count = grid.tile_count();
+        let mut tile_of = Vec::with_capacity(n);
+        let mut per_tile = vec![0usize; tile_count];
+        for id in 0..n as u32 {
+            let t = grid.tile_of(&db.midpoint(id));
+            tile_of.push(t as u32);
+            per_tile[t] += 1;
+        }
+        // Pack tiles into shards: walking tiles in row-major order, a tile
+        // goes to the shard its cumulative midpoint falls in — monotone, so
+        // every shard is a contiguous run of tiles (compact borders), and
+        // segment counts stay near-balanced.
+        let mut tile_shard = vec![0u32; tile_count];
+        let mut cum = 0usize;
+        for (t, &cnt) in per_tile.iter().enumerate() {
+            let mid = cum + cnt / 2;
+            tile_shard[t] = (((mid * shards) / n.max(1)) as u32).min(shards as u32 - 1);
+            cum += cnt;
+        }
+        let mut shard_of = Vec::with_capacity(n);
+        let mut local_index = Vec::with_capacity(n);
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for id in 0..n as u32 {
+            let s = tile_shard[tile_of[id as usize] as usize];
+            shard_of.push(s);
+            local_index.push(members[s as usize].len() as u32);
+            members[s as usize].push(id);
+        }
+        Self {
+            grid,
+            tile_of,
+            shard_of,
+            local_index,
+            shards: members,
+        }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tile lattice backing the plan.
+    pub fn tile_grid(&self) -> &TileGrid<D> {
+        &self.grid
+    }
+
+    /// Tile index of a segment.
+    pub fn tile_of_segment(&self, id: u32) -> usize {
+        self.tile_of[id as usize] as usize
+    }
+
+    /// Shard index of a segment.
+    pub fn shard_of_segment(&self, id: u32) -> usize {
+        self.shard_of[id as usize] as usize
+    }
+
+    /// Member segment ids of one shard, ascending.
+    pub fn shard_members(&self, shard: usize) -> &[u32] {
+        &self.shards[shard]
+    }
+}
+
+/// What one shard worker reports back to the merge pass.
+struct ShardOutcome {
+    /// Core flag per shard member (parallel to the plan's member list).
+    core: Vec<bool>,
+    /// Local union-find result: `(core id, local component root id)` for
+    /// every core in the shard (roots are ids of in-shard cores).
+    links: Vec<(u32, u32)>,
+    /// `(core, non-core)` ε-adjacencies resolved inside the shard.
+    claims: Vec<(u32, u32)>,
+    /// ε-adjacencies whose target lies outside the shard — the segments
+    /// whose ε-balls cross tile/shard boundaries. The target's core status
+    /// is unknown at shard time and is resolved by the merge pass.
+    cross: Vec<(u32, u32)>,
+}
+
+/// Runs the grouping phase sharded over `threads` worker threads.
+///
+/// The caller guarantees `threads ≥ 2` (`threads = 1` takes the sequential
+/// path in [`crate::LineSegmentClustering::run`]).
+pub(crate) fn run_sharded<const D: usize>(
+    db: &SegmentDatabase<D>,
+    config: &ClusterConfig,
+    threads: usize,
+) -> Clustering {
+    let plan = ShardPlan::new(db, threads);
+    let index = db.build_index(config.index, config.eps);
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..plan.shard_count())
+            .map(|s| {
+                let (plan, index) = (&plan, &index);
+                scope.spawn(move || cluster_shard(db, index, config, plan, s))
+            })
+            .collect();
+        // Joining in spawn order keeps the merge input deterministic.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    merge_shards(db, config, &plan, &outcomes)
+}
+
+/// Phase 1+2 of the split/merge design, executed per worker: evaluate
+/// ε-neighborhoods for the shard's segments (against the whole database),
+/// then union in-shard core adjacencies and record everything that points
+/// outside the shard for the merge pass.
+fn cluster_shard<const D: usize>(
+    db: &SegmentDatabase<D>,
+    index: &NeighborIndex<D>,
+    config: &ClusterConfig,
+    plan: &ShardPlan<D>,
+    shard: usize,
+) -> ShardOutcome {
+    let members = plan.shard_members(shard);
+    let m = members.len();
+    let mut core = vec![false; m];
+    let mut dsu = UnionFind::new_over(members);
+    let mut claims = Vec::new();
+    let mut cross = Vec::new();
+    // Forward in-shard edges whose target has not been evaluated yet. The
+    // distance is symmetric, so a core-core edge is also seen — and
+    // unioned — from the later member's side once its core flag is known;
+    // a deferred edge only matters if the target turns out non-core (it
+    // becomes a claim). This keeps one reusable neighborhood buffer
+    // instead of retaining every core's neighborhood.
+    //
+    // All three deferred-edge lists only feed component-level decisions
+    // downstream (a union or a min over components), so a source segment
+    // can be replaced by its current component representative at any time.
+    // Once a list outgrows its budget it is canonicalised and deduplicated
+    // in place, bounding retention by the number of distinct
+    // (component, target) pairs — dense settings (huge ε, one component)
+    // collapse to O(targets) instead of O(all edges).
+    let mut pending: Vec<(u32, u32)> = Vec::new();
+    let mut budgets = [EdgeBudget::new(m); 3];
+    let mut buf = Vec::new();
+    let shard = shard as u32;
+    for (k, &a) in members.iter().enumerate() {
+        db.neighborhood_into(index, a, config.eps, &mut buf);
+        let cardinality = db.neighborhood_cardinality(&buf, config.weighted);
+        if cardinality < config.min_lns {
+            continue;
+        }
+        core[k] = true;
+        for &b in &buf {
+            if b == a {
+                continue;
+            }
+            if plan.shard_of[b as usize] == shard {
+                let j = plan.local_index[b as usize] as usize;
+                if j > k {
+                    pending.push((k as u32, j as u32));
+                } else if core[j] {
+                    dsu.union(k as u32, j as u32);
+                } else {
+                    claims.push((a, b));
+                }
+            } else {
+                cross.push((a, b));
+            }
+        }
+        budgets[0].maybe_compact(&mut pending, &mut dsu, |dsu, k| dsu.find(k));
+        budgets[1].maybe_compact(&mut claims, &mut dsu, |dsu, a| {
+            members[dsu.find(plan.local_index[a as usize]) as usize]
+        });
+        budgets[2].maybe_compact(&mut cross, &mut dsu, |dsu, a| {
+            members[dsu.find(plan.local_index[a as usize]) as usize]
+        });
+    }
+    for &(k, j) in &pending {
+        if !core[j as usize] {
+            claims.push((members[k as usize], members[j as usize]));
+        }
+        // core-core: already unioned from j's side via its backward edge.
+    }
+    let links = members
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| core[k])
+        .map(|(k, &id)| (id, members[dsu.find(k as u32) as usize]))
+        .collect();
+    ShardOutcome {
+        core,
+        links,
+        claims,
+        cross,
+    }
+}
+
+/// Compaction control for one deferred-edge list: canonicalise sources to
+/// their current component representative, sort, dedup — but only once the
+/// list has grown well past the last compacted size, so the amortised cost
+/// stays linear-logarithmic in the unique-edge count.
+#[derive(Clone, Copy)]
+struct EdgeBudget {
+    threshold: usize,
+}
+
+impl EdgeBudget {
+    fn new(shard_len: usize) -> Self {
+        Self {
+            threshold: 1024.max(shard_len * 4),
+        }
+    }
+
+    fn maybe_compact(
+        &mut self,
+        edges: &mut Vec<(u32, u32)>,
+        dsu: &mut UnionFind,
+        canonical_source: impl Fn(&mut UnionFind, u32) -> u32,
+    ) {
+        if edges.len() < self.threshold {
+            return;
+        }
+        for e in edges.iter_mut() {
+            e.0 = canonical_source(dsu, e.0);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        self.threshold = 1024.max(edges.len() * 4);
+    }
+}
+
+/// Phase 3: reconcile shard outcomes into the global clustering. Unions
+/// cross-border core adjacencies, numbers components in ascending
+/// minimum-core-id order (the sequential seed order), and resolves border
+/// claims by earliest component — then runs the shared finalisation
+/// (trajectory filter + dense renumbering).
+fn merge_shards<const D: usize>(
+    db: &SegmentDatabase<D>,
+    config: &ClusterConfig,
+    plan: &ShardPlan<D>,
+    outcomes: &[ShardOutcome],
+) -> Clustering {
+    let n = db.len();
+    // Global core flags, needed to classify cross-border adjacencies.
+    let mut core = vec![false; n];
+    for (s, outcome) in outcomes.iter().enumerate() {
+        for (k, &id) in plan.shard_members(s).iter().enumerate() {
+            core[id as usize] = outcome.core[k];
+        }
+    }
+    let mut dsu = UnionFind::new(n as u32);
+    let mut claims: Vec<(u32, u32)> = Vec::new();
+    for outcome in outcomes {
+        for &(a, root) in &outcome.links {
+            dsu.union(a, root);
+        }
+        claims.extend_from_slice(&outcome.claims);
+        for &(a, b) in &outcome.cross {
+            if core[b as usize] {
+                dsu.union(a, b);
+            } else {
+                claims.push((a, b));
+            }
+        }
+    }
+    // Number components by ascending minimum core id — exactly the order
+    // the sequential seed scan creates clusters in.
+    let mut comp_of_root = vec![u32::MAX; n];
+    let mut raw: Vec<Option<u32>> = vec![None; n];
+    let mut cluster_count = 0u32;
+    for i in 0..n as u32 {
+        if !core[i as usize] {
+            continue;
+        }
+        let root = dsu.find(i) as usize;
+        if comp_of_root[root] == u32::MAX {
+            comp_of_root[root] = cluster_count;
+            cluster_count += 1;
+        }
+        raw[i as usize] = Some(comp_of_root[root]);
+    }
+    // Border segments join the earliest claiming component (first-come
+    // sequential semantics, made order-free by the min).
+    for &(a, b) in &claims {
+        let comp = comp_of_root[dsu.find(a) as usize];
+        let slot = &mut raw[b as usize];
+        *slot = Some(slot.map_or(comp, |existing| existing.min(comp)));
+    }
+    finalize_raw(db, &raw, cluster_count, config.trajectory_threshold())
+}
+
+/// Union-find with path halving; the smaller root always wins a union, so
+/// a component's root is its minimum member id — deterministic regardless
+/// of union order.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: u32) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// A local union-find over shard positions `0..members.len()`.
+    fn new_over(members: &[u32]) -> Self {
+        Self::new(members.len() as u32)
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
+
+    fn db(segs: &[Segment2]) -> SegmentDatabase<2> {
+        let identified = segs
+            .iter()
+            .enumerate()
+            .map(|(k, s)| IdentifiedSegment::new(SegmentId(k as u32), TrajectoryId(k as u32), *s))
+            .collect();
+        SegmentDatabase::from_segments(identified, SegmentDistance::default())
+    }
+
+    #[test]
+    fn union_find_roots_are_minimum_members() {
+        let mut dsu = UnionFind::new(10);
+        dsu.union(7, 3);
+        dsu.union(3, 9);
+        dsu.union(5, 7);
+        assert_eq!(dsu.find(9), 3);
+        assert_eq!(dsu.find(5), 3);
+        assert_eq!(dsu.find(0), 0, "untouched elements stay singletons");
+    }
+
+    #[test]
+    fn plan_covers_every_segment_exactly_once() {
+        let segs: Vec<Segment2> = (0..40)
+            .map(|i| {
+                let x = (i % 8) as f64 * 12.0;
+                let y = (i / 8) as f64 * 9.0;
+                Segment2::xy(x, y, x + 5.0, y)
+            })
+            .collect();
+        let database = db(&segs);
+        for shards in [1, 2, 3, 4, 7] {
+            let plan = ShardPlan::new(&database, shards);
+            assert_eq!(plan.shard_count(), shards);
+            let mut seen = vec![false; database.len()];
+            for s in 0..plan.shard_count() {
+                let members = plan.shard_members(s);
+                assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending ids");
+                for &id in members {
+                    assert_eq!(plan.shard_of_segment(id), s);
+                    assert!(!seen[id as usize], "segment {id} in two shards");
+                    seen[id as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&v| v), "every segment is sharded");
+        }
+    }
+
+    #[test]
+    fn plan_balances_spread_out_segments() {
+        // 64 segments on an 8×8 lattice: 4 shards should each get a
+        // reasonable share (tile packing is heuristic, not perfect).
+        let segs: Vec<Segment2> = (0..64)
+            .map(|i| {
+                let x = (i % 8) as f64 * 20.0;
+                let y = (i / 8) as f64 * 20.0;
+                Segment2::xy(x, y, x + 3.0, y)
+            })
+            .collect();
+        let database = db(&segs);
+        let plan = ShardPlan::new(&database, 4);
+        for s in 0..4 {
+            let share = plan.shard_members(s).len();
+            assert!(
+                (4..=36).contains(&share),
+                "shard {s} grossly unbalanced: {share}/64"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_databases_plan_into_one_tile() {
+        let empty = db(&[]);
+        let plan = ShardPlan::new(&empty, 4);
+        assert_eq!(plan.shard_count(), 4);
+        assert!((0..4).all(|s| plan.shard_members(s).is_empty()));
+        // All mass on one point: one occupied tile, everything in one shard.
+        let stacked = db(&[Segment2::xy(1.0, 1.0, 1.0, 1.0); 6]);
+        let plan = ShardPlan::new(&stacked, 3);
+        let total: usize = (0..3).map(|s| plan.shard_members(s).len()).sum();
+        assert_eq!(total, 6);
+        assert_eq!(plan.tile_grid().tile_count(), 1);
+    }
+}

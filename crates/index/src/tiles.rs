@@ -1,0 +1,204 @@
+//! Spatial tiling for sharded parallel clustering.
+//!
+//! The parallel grouping phase partitions the segment database into worker
+//! shards by *MBR tile*: a [`TileGrid`] covers the database bounding box
+//! with an axis-aligned lattice of roughly `target_tiles` tiles, each
+//! segment is assigned to the tile containing its MBR midpoint, and tiles
+//! are packed into shards. The grid also answers a conservative *border
+//! query*: whether a box (a segment MBR expanded by the ε filter radius)
+//! stays inside one tile or crosses tile boundaries. The merge pass itself
+//! classifies edges exactly, from the neighborhoods it already computed;
+//! the geometric query is the a-priori over-approximation — useful for
+//! planning diagnostics and for tests that must prove a fixture really
+//! spans tiles.
+//!
+//! The lattice is built by repeatedly splitting the axis with the longest
+//! current tile edge, so tiles stay close to square regardless of the data
+//! aspect ratio. Degenerate inputs (empty box, all mass on one point)
+//! collapse to a single tile rather than producing NaN arithmetic.
+
+use traclus_geom::{Aabb, Point};
+
+/// An axis-aligned lattice of tiles covering a bounding box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileGrid<const D: usize> {
+    bbox: Aabb<D>,
+    /// Number of tiles along each axis (all ≥ 1).
+    splits: [usize; D],
+    /// Tile edge length per axis; 0 on zero-extent axes.
+    tile_size: [f64; D],
+}
+
+impl<const D: usize> TileGrid<D> {
+    /// Covers `bbox` with at least `target_tiles` tiles (unless the box is
+    /// degenerate, in which case a single tile results). Axes are split
+    /// greedily by longest current tile edge.
+    pub fn cover(bbox: &Aabb<D>, target_tiles: usize) -> Self {
+        let target = target_tiles.max(1);
+        let mut splits = [1usize; D];
+        let mut extent = [0.0f64; D];
+        if !bbox.is_empty() {
+            for (k, ext) in extent.iter_mut().enumerate() {
+                let e = bbox.max[k] - bbox.min[k];
+                *ext = if e.is_finite() && e > 0.0 { e } else { 0.0 };
+            }
+            while splits.iter().product::<usize>() < target {
+                // Split the axis whose tiles are currently longest.
+                let axis = (0..D).max_by(|&a, &b| {
+                    let ea = extent[a] / splits[a] as f64;
+                    let eb = extent[b] / splits[b] as f64;
+                    ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                match axis {
+                    Some(a) if extent[a] > 0.0 => splits[a] += 1,
+                    // All axes zero-extent: one tile is all there is.
+                    _ => break,
+                }
+            }
+        }
+        let mut tile_size = [0.0f64; D];
+        for k in 0..D {
+            tile_size[k] = extent[k] / splits[k] as f64;
+        }
+        Self {
+            bbox: *bbox,
+            splits,
+            tile_size,
+        }
+    }
+
+    /// Total number of tiles in the lattice.
+    pub fn tile_count(&self) -> usize {
+        self.splits.iter().product()
+    }
+
+    /// Tiles along each axis.
+    pub fn splits(&self) -> [usize; D] {
+        self.splits
+    }
+
+    /// The per-axis tile coordinate of a position, clamped to the lattice
+    /// (points outside the covered box land in the nearest edge tile).
+    fn coords_of(&self, p: &Point<D>) -> [usize; D] {
+        let mut c = [0usize; D];
+        if self.bbox.is_empty() {
+            return c;
+        }
+        for k in 0..D {
+            if self.tile_size[k] > 0.0 {
+                let raw = ((p[k] - self.bbox.min[k]) / self.tile_size[k]).floor();
+                let clamped = raw.max(0.0).min((self.splits[k] - 1) as f64);
+                c[k] = clamped as usize;
+            }
+        }
+        c
+    }
+
+    /// Flat (row-major) tile index of a position.
+    pub fn tile_of(&self, p: &Point<D>) -> usize {
+        self.flatten(self.coords_of(p))
+    }
+
+    fn flatten(&self, coords: [usize; D]) -> usize {
+        self.splits
+            .iter()
+            .zip(coords)
+            .fold(0usize, |idx, (&split, c)| idx * split + c)
+    }
+
+    /// The inclusive per-axis tile-coordinate range overlapped by a box
+    /// (clamped to the lattice). `None` for an empty box.
+    pub fn tile_range(&self, window: &Aabb<D>) -> Option<([usize; D], [usize; D])> {
+        if window.is_empty() || self.bbox.is_empty() {
+            return None;
+        }
+        let lo = self.coords_of(&Point::new(window.min));
+        let hi = self.coords_of(&Point::new(window.max));
+        Some((lo, hi))
+    }
+
+    /// Border query: does `window` overlap more than one tile? For a
+    /// segment MBR expanded by the ε filter radius this over-approximates
+    /// "can this segment's ε-ball reach outside its own tile" — a segment
+    /// for which this is false can never contribute a cross-tile edge.
+    pub fn crosses_boundary(&self, window: &Aabb<D>) -> bool {
+        match self.tile_range(window) {
+            Some((lo, hi)) => (0..D).any(|k| lo[k] < hi[k]),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aabb2(minx: f64, miny: f64, maxx: f64, maxy: f64) -> Aabb<2> {
+        Aabb::new([minx, miny], [maxx, maxy])
+    }
+
+    #[test]
+    fn covers_with_at_least_target_tiles() {
+        let grid = TileGrid::cover(&aabb2(0.0, 0.0, 100.0, 50.0), 8);
+        assert!(grid.tile_count() >= 8);
+        // The longest-edge heuristic splits x more than y on a 2:1 box.
+        let [sx, sy] = grid.splits();
+        assert!(sx >= sy);
+    }
+
+    #[test]
+    fn every_point_maps_to_a_valid_tile() {
+        let grid = TileGrid::cover(&aabb2(-10.0, 0.0, 10.0, 40.0), 6);
+        for &(x, y) in &[
+            (-10.0, 0.0),
+            (10.0, 40.0),
+            (0.0, 20.0),
+            (-500.0, 7.0), // outside: clamps to an edge tile
+            (3.0, 1e9),
+        ] {
+            let t = grid.tile_of(&Point::new([x, y]));
+            assert!(t < grid.tile_count(), "tile {t} out of range for ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn degenerate_boxes_collapse_to_one_tile() {
+        let empty = TileGrid::<2>::cover(&Aabb::empty(), 16);
+        assert_eq!(empty.tile_count(), 1);
+        assert_eq!(empty.tile_of(&Point::new([3.0, 4.0])), 0);
+        let point = TileGrid::cover(&aabb2(5.0, 5.0, 5.0, 5.0), 16);
+        assert_eq!(point.tile_count(), 1);
+        assert!(!point.crosses_boundary(&aabb2(4.0, 4.0, 6.0, 6.0)));
+    }
+
+    #[test]
+    fn zero_extent_axis_is_never_split() {
+        // A horizontal line of data: only x can be split.
+        let grid = TileGrid::cover(&aabb2(0.0, 3.0, 100.0, 3.0), 5);
+        let [sx, sy] = grid.splits();
+        assert_eq!(sy, 1);
+        assert!(sx >= 5);
+    }
+
+    #[test]
+    fn border_query_detects_boundary_crossings() {
+        let grid = TileGrid::cover(&aabb2(0.0, 0.0, 100.0, 100.0), 4);
+        let [sx, _] = grid.splits();
+        let first_boundary = 100.0 / sx as f64;
+        let interior = aabb2(0.1, 0.1, first_boundary - 0.1, 0.1);
+        assert!(!grid.crosses_boundary(&interior));
+        let crossing = aabb2(first_boundary - 0.1, 0.1, first_boundary + 0.1, 0.1);
+        assert!(grid.crosses_boundary(&crossing));
+        assert!(!grid.crosses_boundary(&Aabb::empty()));
+    }
+
+    #[test]
+    fn tile_indices_are_row_major_and_stable() {
+        let grid = TileGrid::cover(&aabb2(0.0, 0.0, 10.0, 10.0), 4);
+        // Same point, same tile; different corners, different tiles.
+        let a = grid.tile_of(&Point::new([1.0, 1.0]));
+        assert_eq!(a, grid.tile_of(&Point::new([1.0, 1.0])));
+        let b = grid.tile_of(&Point::new([9.0, 9.0]));
+        assert_ne!(a, b);
+    }
+}

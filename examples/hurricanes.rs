@@ -46,17 +46,23 @@ fn main() {
         best.eps, best.avg_neighborhood, min_lns_range
     );
 
-    // Phase 2: cluster with the estimated parameters.
+    // Phase 2: cluster with the estimated parameters, sharded over every
+    // available hardware thread (the default Parallelism knob). The
+    // parallel path returns the identical clustering to the sequential
+    // loop — Parallelism::Sequential forces the single-threaded scan.
     let min_lns = *min_lns_range.start() + 1;
+    let parallelism = Parallelism::Available;
     let outcome = Traclus::new(TraclusConfig {
         eps: best.eps,
         min_lns,
+        parallelism,
         ..config
     })
     .run(&tracks);
     println!(
-        "{} clusters (noise {:.1}%)",
+        "{} clusters over {} worker thread(s) (noise {:.1}%)",
         outcome.clusters.len(),
+        parallelism.thread_count(),
         outcome.clustering.noise_ratio() * 100.0
     );
     for c in &outcome.clusters {

@@ -42,7 +42,7 @@ fn main() {
         trajectories.len(),
         outcome.database.len(),
         outcome.clusters.len(),
-        outcome.clustering.noise().len(),
+        outcome.clustering.noise_count(),
     );
     for cluster in &outcome.clusters {
         println!(

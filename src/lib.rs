@@ -10,7 +10,8 @@
 //! * [`geom`] — points, segments, and the composite segment distance
 //!   (Definitions 1–3);
 //! * [`core`] — MDL partitioning (Section 3), density-based line-segment
-//!   clustering (Section 4.2), representative trajectories (Section 4.3),
+//!   clustering (Section 4.2; sequential and sharded-parallel, selected by
+//!   the `Parallelism` knob), representative trajectories (Section 4.3),
 //!   and the parameter-selection heuristics (Section 4.4);
 //! * [`index`] — R-tree / grid substrate for ε-neighborhood queries
 //!   (Lemma 3);
@@ -62,7 +63,7 @@ pub use traclus_viz as viz;
 pub mod prelude {
     pub use traclus_core::{
         cluster::{ClusterId, Clustering, LineSegmentClustering, SegmentLabel},
-        params::{select_min_lns, EntropyCurve, EpsSelection},
+        params::{select_min_lns, EntropyCurve, EpsSelection, Parallelism},
         partition::{approximate_partition, optimal_partition, MdlCost, PartitionConfig},
         quality::QMeasure,
         representative::RepresentativeConfig,

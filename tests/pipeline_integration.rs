@@ -202,3 +202,45 @@ fn rebuilding_database_from_segments_preserves_clustering() {
     let second = Traclus::new(config).run_on_database(db2);
     assert_eq!(first.clustering, second.clustering);
 }
+
+#[test]
+fn parallel_and_sequential_pipelines_are_identical() {
+    // The Parallelism knob must not change anything observable: labels,
+    // clusters, and representative trajectories all come out the same
+    // whether the grouping phase runs sequentially or sharded over
+    // several worker threads.
+    let scene = generate_scene(&SceneConfig {
+        noise_fraction: 0.2,
+        seed: 31,
+        ..SceneConfig::default()
+    });
+    let base = TraclusConfig {
+        eps: 7.0,
+        min_lns: 6,
+        parallelism: Parallelism::Sequential,
+        ..TraclusConfig::default()
+    };
+    let sequential = Traclus::new(base).run(&scene.trajectories);
+    for threads in [2usize, 4, 8] {
+        let parallel = Traclus::new(TraclusConfig {
+            parallelism: Parallelism::Threads(threads),
+            ..base
+        })
+        .run(&scene.trajectories);
+        assert_eq!(
+            sequential.clustering, parallel.clustering,
+            "clustering diverged at t={threads}"
+        );
+        assert_eq!(
+            sequential.clusters, parallel.clusters,
+            "representatives diverged at t={threads}"
+        );
+    }
+    // The default knob (all available hardware threads) agrees too.
+    let auto = Traclus::new(TraclusConfig {
+        parallelism: Parallelism::Available,
+        ..base
+    })
+    .run(&scene.trajectories);
+    assert_eq!(sequential.clustering, auto.clustering);
+}
