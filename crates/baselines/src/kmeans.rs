@@ -1,5 +1,5 @@
 //! k-means over resampled whole trajectories (a second whole-trajectory
-//! baseline; the paper's Section 6 classifies k-means [16] as the canonical
+//! baseline; the paper's Section 6 classifies k-means \[16\] as the canonical
 //! partitioning method).
 //!
 //! Trajectories are embedded as fixed-length vectors by arc-length

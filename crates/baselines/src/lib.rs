@@ -4,14 +4,14 @@
 //!
 //! * [`regression_mixture`] — Gaffney & Smyth's regression-mixture EM over
 //!   **whole** trajectories, the baseline the paper positions itself
-//!   against ([7, 8]; Sections 1 and 6);
+//!   against (\[7, 8\]; Sections 1 and 6);
 //! * [`kmeans`] — k-means over resampled trajectories (the canonical
-//!   partitioning method, [16]);
-//! * [`point_dbscan`] — classic DBSCAN over points ([6]), the algorithm
+//!   partitioning method, \[16\]);
+//! * [`point_dbscan`] — classic DBSCAN over points (\[6\]), the algorithm
 //!   TRACLUS adapts;
-//! * [`optics`] — OPTICS for points and line segments ([2]), powering the
+//! * [`optics`] — OPTICS for points and line segments (\[2\]), powering the
 //!   Appendix D design-decision experiment;
-//! * substrates: [`linalg`] (dense least squares) and [`resample`]
+//! * substrates: [`linalg`] (dense least squares) and [`mod@resample`]
 //!   (arc-length trajectory resampling).
 
 #![warn(missing_docs)]

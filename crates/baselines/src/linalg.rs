@@ -1,5 +1,5 @@
 //! Minimal dense linear algebra: just enough for weighted polynomial least
-//! squares inside the regression-mixture EM baseline (Gaffney & Smyth [7]).
+//! squares inside the regression-mixture EM baseline (Gaffney & Smyth \[7\]).
 //!
 //! Row-major matrices, Cholesky factorisation for the SPD normal equations,
 //! with a tiny ridge to keep ill-conditioned Vandermonde systems solvable.

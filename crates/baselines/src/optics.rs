@@ -1,4 +1,4 @@
-//! OPTICS (Ankerst et al. [2]) for points **and** line segments.
+//! OPTICS (Ankerst et al. \[2\]) for points **and** line segments.
 //!
 //! Appendix D argues why TRACLUS builds on DBSCAN rather than OPTICS: with
 //! line segments, "the reachability-distances of cluster objects tend to be

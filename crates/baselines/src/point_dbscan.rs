@@ -1,4 +1,4 @@
-//! Classic DBSCAN over points (Ester et al. [6]) — the algorithm TRACLUS
+//! Classic DBSCAN over points (Ester et al. \[6\]) — the algorithm TRACLUS
 //! adapts to line segments. Used as a reference substrate and by the
 //! Appendix D point-vs-segment comparison.
 

@@ -1,14 +1,16 @@
 //! Lemma 3 micro-benchmark: line-segment clustering with and without a
 //! spatial index (linear scan = the O(n²) arm; grid and R-tree = the
-//! O(n log n) arm), plus the sharded parallel path across thread counts.
+//! O(n log n) arm), plus the sharded parallel path across thread counts
+//! and the streaming engine's insert throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use traclus_bench::experiments::scaling::scaled_database;
 use traclus_core::{
-    ClusterConfig, IndexKind, LineSegmentClustering, PartitionConfig, SegmentDatabase,
+    ClusterConfig, IncrementalClustering, IndexKind, LineSegmentClustering, PartitionConfig,
+    SegmentDatabase, StreamConfig, Traclus, TraclusConfig,
 };
 use traclus_data::{HurricaneConfig, HurricaneGenerator};
-use traclus_geom::SegmentDistance;
+use traclus_geom::{SegmentDistance, Trajectory};
 
 fn bench_cluster(c: &mut Criterion) {
     for (kind, label) in [
@@ -82,5 +84,85 @@ fn bench_cluster_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster, bench_cluster_parallel);
+/// Streaming insert throughput: ingest the hurricane basin one storm at a
+/// time through `IncrementalClustering` and snapshot at the end.
+///
+/// Two sweeps:
+///
+/// * dataset size (32 / 64 / 128 storms) at the default dirty-region
+///   threshold, with a batch (`partition-all + run`) arm at each size —
+///   the cost of keeping the clustering current versus recomputing it
+///   once at the end;
+/// * the `rebuild_threshold` knob at a fixed size — 0.0 re-clusters on
+///   every insertion (the naive serving loop), 1.0 never does (pure local
+///   repair on an incrementally grown R-tree).
+fn bench_stream_insert(c: &mut Criterion) {
+    let storms = |tracks: usize| -> Vec<Trajectory<2>> {
+        HurricaneGenerator::new(HurricaneConfig {
+            tracks,
+            seed: 2007,
+            ..HurricaneConfig::default()
+        })
+        .generate()
+    };
+    let config = TraclusConfig {
+        eps: 5.0,
+        min_lns: 5,
+        ..TraclusConfig::default()
+    };
+    let ingest = |config: TraclusConfig, tracks: &[Trajectory<2>]| {
+        let mut engine: IncrementalClustering<2> = Traclus::new(config).stream();
+        for tr in tracks {
+            engine.insert(tr);
+        }
+        engine.snapshot()
+    };
+
+    let mut group = c.benchmark_group("cluster/stream_ingest_hurricane");
+    group.sample_size(10);
+    for tracks in [32usize, 64, 128] {
+        let dataset = storms(tracks);
+        group.bench_with_input(
+            BenchmarkId::new("stream", tracks),
+            &dataset,
+            |b, dataset| b.iter(|| ingest(config, dataset)),
+        );
+        group.bench_with_input(BenchmarkId::new("batch", tracks), &dataset, |b, dataset| {
+            b.iter(|| {
+                let db =
+                    SegmentDatabase::from_trajectories(dataset, &config.partition, config.distance);
+                LineSegmentClustering::new(&db, ClusterConfig::new(config.eps, config.min_lns))
+                    .run()
+            })
+        });
+    }
+    group.finish();
+
+    let dataset = storms(64);
+    let mut group = c.benchmark_group("cluster/stream_rebuild_threshold");
+    group.sample_size(10);
+    for threshold in [0.0f64, 0.25, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                let config = TraclusConfig {
+                    stream: StreamConfig {
+                        rebuild_threshold: threshold,
+                    },
+                    ..config
+                };
+                b.iter(|| ingest(config, &dataset))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster,
+    bench_cluster_parallel,
+    bench_stream_insert
+);
 criterion_main!(benches);

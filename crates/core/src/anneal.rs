@@ -1,7 +1,7 @@
 //! A small, deterministic simulated-annealing optimiser for 1-D objectives.
 //!
 //! Section 4.4 obtains the optimal ε "efficiently … by a simulated
-//! annealing [14] technique"; this module is that substrate. Geometric
+//! annealing \[14\] technique"; this module is that substrate. Geometric
 //! cooling, Gaussian-ish proposals scaled by temperature, Metropolis
 //! acceptance, explicit seed.
 

@@ -176,6 +176,34 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
     }
 
     /// Runs the three steps of Figure 12 and returns the clustering.
+    ///
+    /// ```
+    /// use traclus_core::{ClusterConfig, LineSegmentClustering, SegmentDatabase};
+    /// use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
+    ///
+    /// // Five parallel segments from distinct trajectories, plus one far
+    /// // outlier.
+    /// let mut segments: Vec<_> = (0..5)
+    ///     .map(|i| {
+    ///         IdentifiedSegment::new(
+    ///             SegmentId(i),
+    ///             TrajectoryId(i),
+    ///             Segment2::xy(0.0, 0.4 * i as f64, 10.0, 0.4 * i as f64),
+    ///         )
+    ///     })
+    ///     .collect();
+    /// segments.push(IdentifiedSegment::new(
+    ///     SegmentId(5),
+    ///     TrajectoryId(99),
+    ///     Segment2::xy(500.0, 500.0, 510.0, 500.0),
+    /// ));
+    /// let db = SegmentDatabase::from_segments(segments, SegmentDistance::default());
+    ///
+    /// let clustering = LineSegmentClustering::new(&db, ClusterConfig::new(1.5, 3)).run();
+    /// assert_eq!(clustering.clusters.len(), 1, "one dense bundle");
+    /// assert_eq!(clustering.clusters[0].members, vec![0, 1, 2, 3, 4]);
+    /// assert_eq!(clustering.noise(), vec![5], "the outlier is noise");
+    /// ```
     pub fn run(&self) -> Clustering {
         let n = self.db.len();
         let index = self.db.build_index(self.config.index, self.config.eps);
@@ -253,6 +281,37 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
     /// [`Clustering`] **identical** to [`Self::run`] — the sharded
     /// split/merge design and the equivalence argument live in
     /// [`crate::shard`]. `threads ≤ 1` takes the sequential path directly.
+    ///
+    /// ```
+    /// use traclus_core::{ClusterConfig, LineSegmentClustering, SegmentDatabase};
+    /// use traclus_geom::{IdentifiedSegment, Segment2, SegmentDistance, SegmentId, TrajectoryId};
+    ///
+    /// let segments: Vec<_> = (0..24)
+    ///     .map(|i| {
+    ///         // Three separated bundles of eight segments each.
+    ///         let (bundle, lane) = (i / 8, i % 8);
+    ///         IdentifiedSegment::new(
+    ///             SegmentId(i),
+    ///             TrajectoryId(i),
+    ///             Segment2::xy(
+    ///                 bundle as f64 * 100.0,
+    ///                 lane as f64 * 0.5,
+    ///                 bundle as f64 * 100.0 + 10.0,
+    ///                 lane as f64 * 0.5,
+    ///             ),
+    ///         )
+    ///     })
+    ///     .collect();
+    /// let db = SegmentDatabase::from_segments(segments, SegmentDistance::default());
+    /// let algo = LineSegmentClustering::new(&db, ClusterConfig::new(1.5, 3));
+    ///
+    /// // Any worker count returns the identical clustering.
+    /// let sequential = algo.run();
+    /// assert_eq!(sequential.clusters.len(), 3);
+    /// for threads in [2, 4, 8] {
+    ///     assert_eq!(algo.run_parallel(threads), sequential);
+    /// }
+    /// ```
     pub fn run_parallel(&self, threads: usize) -> Clustering {
         if threads <= 1 || self.db.len() <= 1 {
             return self.run();

@@ -46,6 +46,7 @@ pub mod representative;
 pub mod segment_db;
 pub mod shard;
 pub mod simplify;
+pub mod stream;
 
 use traclus_geom::{SegmentDistance, Trajectory};
 
@@ -58,8 +59,8 @@ pub use params::{
     NeighborhoodStats, Parallelism,
 };
 pub use partition::{
-    approximate_partition, optimal_partition, partition_precision, partition_trajectories, MdlCost,
-    PartitionConfig, Partitioning,
+    approximate_partition, optimal_partition, partition_precision, partition_trajectories,
+    partition_trajectory_from, MdlCost, PartitionConfig, Partitioning,
 };
 pub use quality::QMeasure;
 pub use representative::{
@@ -68,6 +69,7 @@ pub use representative::{
 pub use segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
 pub use shard::ShardPlan;
 pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
+pub use stream::{IncrementalClustering, InsertReport, StreamConfig, StreamStats};
 
 /// End-to-end configuration of the TRACLUS pipeline (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +100,29 @@ pub struct TraclusConfig {
     /// [`shard`]); set [`Parallelism::Sequential`] to force the Figure 12
     /// single-threaded scan.
     pub parallelism: Parallelism,
+    /// Maintenance knobs of the streaming engine ([`Traclus::stream`] /
+    /// [`IncrementalClustering`]): currently the dirty-region threshold
+    /// that trades local repair against a full re-cluster. Ignored by the
+    /// batch [`Traclus::run`] path.
+    pub stream: StreamConfig,
+}
+
+impl TraclusConfig {
+    /// The grouping-phase slice of this configuration — the
+    /// [`ClusterConfig`] handed to [`LineSegmentClustering`]. Kept in one
+    /// place so the batch ([`Traclus::run`]) and streaming
+    /// ([`Traclus::stream`]) paths cannot drift apart on clustering
+    /// parameters.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            eps: self.eps,
+            min_lns: self.min_lns as f64,
+            min_trajectories: self.min_trajectories,
+            weighted: self.weighted,
+            index: self.index,
+            parallelism: self.parallelism,
+        }
+    }
 }
 
 impl Default for TraclusConfig {
@@ -112,6 +137,7 @@ impl Default for TraclusConfig {
             weighted: false,
             smoothing: None,
             parallelism: Parallelism::default(),
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -183,37 +209,46 @@ impl Traclus {
         &self,
         database: SegmentDatabase<D>,
     ) -> TraclusOutcome<D> {
-        let cfg = &self.config;
         // Grouping phase (line 4).
-        let clustering = LineSegmentClustering::new(
-            &database,
-            ClusterConfig {
-                eps: cfg.eps,
-                min_lns: cfg.min_lns as f64,
-                min_trajectories: cfg.min_trajectories,
-                weighted: cfg.weighted,
-                index: cfg.index,
-                parallelism: cfg.parallelism,
-            },
-        )
-        .run_configured();
-        // Representative trajectories (lines 5–6).
-        let mut rep_config =
-            RepresentativeConfig::new(cfg.min_lns, cfg.smoothing.unwrap_or(cfg.eps * 0.25));
-        rep_config.weighted = cfg.weighted;
-        let clusters = clustering
-            .clusters
-            .iter()
-            .map(|c| TraclusCluster {
-                cluster: c.clone(),
-                representative: representative_trajectory(&database, c, &rep_config),
-            })
-            .collect();
-        TraclusOutcome {
-            database,
-            clustering,
-            clusters,
-        }
+        let clustering =
+            LineSegmentClustering::new(&database, self.config.cluster_config()).run_configured();
+        attach_representatives(&self.config, database, clustering)
+    }
+
+    /// An empty streaming engine bound to this configuration — the online
+    /// counterpart of [`Self::run`], accepting trajectories one at a time
+    /// (see [`stream`]).
+    pub fn stream<const D: usize>(&self) -> IncrementalClustering<D> {
+        IncrementalClustering::new(self.config)
+    }
+}
+
+/// Representative trajectories (Figure 4 lines 5–6) for a finished
+/// clustering — the tail of the pipeline shared by the batch
+/// [`Traclus::run_on_database`] and the streaming
+/// [`IncrementalClustering::finish`].
+pub(crate) fn attach_representatives<const D: usize>(
+    config: &TraclusConfig,
+    database: SegmentDatabase<D>,
+    clustering: Clustering,
+) -> TraclusOutcome<D> {
+    let mut rep_config = RepresentativeConfig::new(
+        config.min_lns,
+        config.smoothing.unwrap_or(config.eps * 0.25),
+    );
+    rep_config.weighted = config.weighted;
+    let clusters = clustering
+        .clusters
+        .iter()
+        .map(|c| TraclusCluster {
+            cluster: c.clone(),
+            representative: representative_trajectory(&database, c, &rep_config),
+        })
+        .collect();
+    TraclusOutcome {
+        database,
+        clustering,
+        clusters,
     }
 }
 

@@ -169,6 +169,25 @@ impl Partitioning {
 ///
 /// Trajectories with fewer than two points yield the trivial partitioning
 /// (every available point is characteristic).
+///
+/// ```
+/// use traclus_core::partition::{approximate_partition, PartitionConfig};
+/// use traclus_geom::Point2;
+///
+/// // A long straight run, a sharp corner, another long run: the MDL
+/// // balance keeps the runs whole and cuts at (or near) the corner.
+/// let points: Vec<Point2> = (0..10)
+///     .map(|k| Point2::xy(k as f64 * 10.0, 0.0))
+///     .chain((1..10).map(|k| Point2::xy(90.0, k as f64 * 10.0)))
+///     .collect();
+/// let partitioning = approximate_partition(&PartitionConfig::default(), &points);
+///
+/// // Far fewer partitions than edges (conciseness) …
+/// assert!(partitioning.partition_count() < points.len() - 1);
+/// // … and the endpoints are always characteristic (Figure 8 lines 1, 12).
+/// assert_eq!(partitioning.characteristic_points.first(), Some(&0));
+/// assert_eq!(partitioning.characteristic_points.last(), Some(&(points.len() - 1)));
+/// ```
 pub fn approximate_partition<const D: usize>(
     config: &PartitionConfig,
     points: &[Point<D>],
@@ -290,21 +309,59 @@ pub fn partition_trajectories<const D: usize>(
     trajectories: &[Trajectory<D>],
 ) -> Vec<IdentifiedSegment<D>> {
     let mut out = Vec::new();
-    let mut next_id = 0u32;
     for tr in trajectories {
-        let partitioning = approximate_partition(config, &tr.points);
-        for seg in partitioning.segments(&tr.points) {
-            if seg.is_degenerate() {
-                continue;
-            }
-            out.push(IdentifiedSegment {
-                id: SegmentId(next_id),
-                trajectory: tr.id,
-                segment: seg,
-                weight: tr.weight,
-            });
-            next_id += 1;
+        let first_id = out.len() as u32;
+        out.extend(partition_trajectory_from(config, tr, first_id));
+    }
+    out
+}
+
+/// Partitions **one** trajectory, identifying its partitions with dense
+/// segment ids starting at `first_id` — the per-trajectory unit of work the
+/// streaming engine ([`crate::stream`]) performs on every ingested
+/// trajectory. [`partition_trajectories`] is exactly this, folded over a
+/// slice with `first_id` carried along, so a trajectory stream partitioned
+/// one element at a time yields the identical segment database.
+///
+/// Degenerate (zero-length) partitions are dropped, as in the batch path:
+/// they carry no direction and the composite distance is undefined on them.
+///
+/// ```
+/// use traclus_core::partition::{partition_trajectory_from, PartitionConfig};
+/// use traclus_geom::{Point2, Trajectory, TrajectoryId};
+///
+/// let tr = Trajectory::new(
+///     TrajectoryId(7),
+///     vec![
+///         Point2::xy(0.0, 0.0),
+///         Point2::xy(40.0, 0.0),  // long straight run …
+///         Point2::xy(40.0, 40.0), // … then a sharp corner
+///     ],
+/// );
+/// let segments = partition_trajectory_from(&PartitionConfig::default(), &tr, 10);
+/// assert!(!segments.is_empty());
+/// assert_eq!(segments[0].id.0, 10, "ids continue the caller's sequence");
+/// assert!(segments.iter().all(|s| s.trajectory == TrajectoryId(7)));
+/// ```
+pub fn partition_trajectory_from<const D: usize>(
+    config: &PartitionConfig,
+    trajectory: &Trajectory<D>,
+    first_id: u32,
+) -> Vec<IdentifiedSegment<D>> {
+    let partitioning = approximate_partition(config, &trajectory.points);
+    let mut out = Vec::new();
+    let mut next_id = first_id;
+    for seg in partitioning.segments(&trajectory.points) {
+        if seg.is_degenerate() {
+            continue;
         }
+        out.push(IdentifiedSegment {
+            id: SegmentId(next_id),
+            trajectory: trajectory.id,
+            segment: seg,
+            weight: trajectory.weight,
+        });
+        next_id += 1;
     }
     out
 }

@@ -26,6 +26,7 @@ pub enum IndexKind {
     RTree,
 }
 
+#[derive(Clone)]
 enum IndexImpl<const D: usize> {
     /// Full scan needs no structure: the database iterates all segments.
     Linear,
@@ -34,11 +35,33 @@ enum IndexImpl<const D: usize> {
 }
 
 /// A built neighborhood index bound to a database snapshot.
+///
+/// The index answers queries for whatever database state it was built
+/// against; [`Self::insert`] keeps it in sync as segments are appended
+/// (the streaming path in `traclus-core::stream`).
+#[derive(Clone)]
 pub struct NeighborIndex<const D: usize> {
     imp: IndexImpl<D>,
     /// Expansion radius per unit ε, `√(4/w⊥² + 1/w∥²)`; `None` forces full
     /// scans (degenerate weights).
     radius_per_eps: Option<f64>,
+}
+
+impl<const D: usize> NeighborIndex<D> {
+    /// Registers one freshly appended segment so subsequent queries see it.
+    ///
+    /// Linear scans need no structure (the database itself is the index);
+    /// grid cells hash the new MBR in O(cells overlapped); the R-tree takes
+    /// the Guttman insertion path (choose-leaf by least enlargement,
+    /// quadratic split on overflow). Must be called once per segment
+    /// appended via [`SegmentDatabase::append_segments`], in id order.
+    pub fn insert(&mut self, id: u32, bbox: &Aabb<D>) {
+        match &mut self.imp {
+            IndexImpl::Linear => {}
+            IndexImpl::Grid(g) => g.insert(id, *bbox),
+            IndexImpl::RTree(t) => t.insert(id, *bbox),
+        }
+    }
 }
 
 /// The segment database: segments + cached geometry + the distance
@@ -49,6 +72,7 @@ pub struct NeighborIndex<const D: usize> {
 /// once at construction, so ε-neighborhood refinement runs the batched
 /// `distance_many` kernel instead of re-deriving projection setup from raw
 /// endpoints on every pair.
+#[derive(Clone)]
 pub struct SegmentDatabase<const D: usize> {
     segments: Vec<IdentifiedSegment<D>>,
     soa: SegmentSoa<D>,
@@ -80,6 +104,28 @@ impl<const D: usize> SegmentDatabase<D> {
             soa,
             bboxes,
             distance,
+        }
+    }
+
+    /// Appends already-identified segments to the database, extending the
+    /// structure-of-arrays geometry cache and the cached bounding boxes in
+    /// place — the streaming counterpart of [`Self::from_segments`].
+    ///
+    /// Ids must continue the dense sequence (`segments[k].id.0 == len + k`),
+    /// exactly what [`crate::partition::partition_trajectory_from`] emits
+    /// when handed the current length as the first id. Any
+    /// [`NeighborIndex`] built earlier must be told about the new entries
+    /// via [`NeighborIndex::insert`] (or be rebuilt) before its next query.
+    pub fn append_segments(&mut self, segments: impl IntoIterator<Item = IdentifiedSegment<D>>) {
+        for s in segments {
+            assert_eq!(
+                s.id.0 as usize,
+                self.segments.len(),
+                "appended segment ids must continue the dense sequence"
+            );
+            self.soa.push(&s.segment);
+            self.bboxes.push(s.bounding_box());
+            self.segments.push(s);
         }
     }
 

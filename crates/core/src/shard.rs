@@ -349,13 +349,15 @@ fn merge_shards<const D: usize>(
 
 /// Union-find with path halving; the smaller root always wins a union, so
 /// a component's root is its minimum member id — deterministic regardless
-/// of union order.
-struct UnionFind {
+/// of union order. Shared with the incremental engine in [`crate::stream`],
+/// whose component numbering relies on exactly this min-root property.
+#[derive(Debug, Clone)]
+pub(crate) struct UnionFind {
     parent: Vec<u32>,
 }
 
 impl UnionFind {
-    fn new(n: u32) -> Self {
+    pub(crate) fn new(n: u32) -> Self {
         Self {
             parent: (0..n).collect(),
         }
@@ -366,7 +368,13 @@ impl UnionFind {
         Self::new(members.len() as u32)
     }
 
-    fn find(&mut self, mut x: u32) -> u32 {
+    /// Appends one fresh singleton element (the incremental engine grows
+    /// the universe as segments stream in).
+    pub(crate) fn push(&mut self) {
+        self.parent.push(self.parent.len() as u32);
+    }
+
+    pub(crate) fn find(&mut self, mut x: u32) -> u32 {
         while self.parent[x as usize] != x {
             let grandparent = self.parent[self.parent[x as usize] as usize];
             self.parent[x as usize] = grandparent;
@@ -375,7 +383,16 @@ impl UnionFind {
         x
     }
 
-    fn union(&mut self, a: u32, b: u32) {
+    /// [`Self::find`] without path compression, for shared-reference
+    /// callers (e.g. taking a snapshot of the incremental engine).
+    pub(crate) fn find_readonly(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    pub(crate) fn union(&mut self, a: u32, b: u32) {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
@@ -408,6 +425,13 @@ mod tests {
         assert_eq!(dsu.find(9), 3);
         assert_eq!(dsu.find(5), 3);
         assert_eq!(dsu.find(0), 0, "untouched elements stay singletons");
+        // The read-only finder agrees without mutating parents.
+        assert_eq!(dsu.find_readonly(9), 3);
+        // Growth appends singletons that union like any other element.
+        dsu.push();
+        assert_eq!(dsu.find(10), 10);
+        dsu.union(10, 9);
+        assert_eq!(dsu.find_readonly(10), 3);
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! Streaming/incremental clustering: ingest trajectories one at a time.
+//!
+//! The paper's framework (Figure 4) is batch-oriented: partition every
+//! trajectory, then group all segments at once. Serving-style workloads
+//! instead see trajectories arrive one by one — a new storm track, a new
+//! vehicle trace — and want the clustering kept current without re-running
+//! the grouping phase from scratch on every arrival. This module provides
+//! [`IncrementalClustering`], an online engine that
+//!
+//! 1. runs MDL partitioning (Section 3) on each arriving trajectory
+//!    immediately ([`crate::partition::partition_trajectory_from`]),
+//! 2. appends the resulting segments to the shared [`SegmentDatabase`] and
+//!    inserts them into the live spatial index (the R-tree's Guttman
+//!    insertion path, or grid-cell hashing — [`NeighborIndex::insert`]),
+//! 3. repairs cluster state **locally**: the ε-neighborhoods (Definition 4)
+//!    of the new segments are expanded, neighborhood cardinalities of
+//!    affected segments are updated in place, segments whose core-ness
+//!    (Definition 5) flips are re-expanded, and a union-find over core
+//!    segments (the same min-root machinery as the sharded parallel path in
+//!    [`crate::shard`]) folds newly connected components together.
+//!
+//! # Exactness
+//!
+//! Local repair is not an approximation. Core-ness is intrinsic (it depends
+//! only on the database, never on arrival order), clusters restricted to
+//! cores are the connected components of the core-adjacency graph, and
+//! non-core border segments join the earliest claiming component — all
+//! order-free quantities, the same argument that makes the sharded parallel
+//! path exact. Insertion only ever *adds* ε-edges and *promotes* segments
+//! to core (for non-negative weights), so maintaining counts, a monotone
+//! union-find, and per-border claim lists reproduces the batch state after
+//! every insertion: [`IncrementalClustering::snapshot`] equals
+//! [`crate::LineSegmentClustering::run`] on the same prefix of the stream,
+//! label for label. The equivalence suite
+//! (`crates/core/tests/streaming_equivalence.rs`) locks this down on
+//! hurricane, grid, and random-walk fixtures, including mid-stream
+//! prefixes.
+//!
+//! # The dirty-region threshold
+//!
+//! One insertion's repair cost is proportional to its *dirty region*: the
+//! new segments plus every existing segment whose core-ness flipped (each
+//! needs one ε-expansion). A trajectory crossing a near-threshold region
+//! can flip a large fraction of the database at once; past that point,
+//! local repair costs as much as re-clustering while leaving the
+//! incrementally grown R-tree less balanced than a fresh STR bulk load.
+//! [`StreamConfig::rebuild_threshold`] caps the dirty fraction: when one
+//! insertion dirties more than that fraction of the database, the engine
+//! falls back to a full re-cluster (recomputing counts, cores, components,
+//! and claims from scratch) and rebuilds the spatial index. The fallback
+//! changes *when* work happens, never the result.
+//!
+//! Demotions cannot happen under non-negative weights; if a negative
+//! segment weight does drop a core segment below `MinLns` (the weighted
+//! Section 4.2 extension puts no sign constraint on weights), the engine
+//! detects the demotion and forces the full re-cluster, because a monotone
+//! union-find cannot un-merge.
+
+use traclus_geom::Trajectory;
+
+use crate::cluster::{finalize_raw, ClusterConfig, Clustering};
+use crate::partition::partition_trajectory_from;
+use crate::segment_db::{NeighborIndex, SegmentDatabase};
+use crate::shard::UnionFind;
+use crate::{TraclusConfig, TraclusOutcome};
+
+/// Maintenance knobs of the incremental engine — the run-time parameters
+/// of *streaming* operation, next to the paper's statistical ones in
+/// [`TraclusConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Dirty-region fraction above which one insertion triggers a full
+    /// re-cluster (and index rebuild) instead of local repair.
+    ///
+    /// `0.0` re-clusters on every insertion (the naive baseline), values
+    /// `≥ 1.0` never re-cluster; the default `0.25` re-clusters only when a
+    /// single trajectory flips a quarter of the database. The choice never
+    /// affects the resulting clustering, only where the work is spent.
+    pub rebuild_threshold: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            rebuild_threshold: 0.25,
+        }
+    }
+}
+
+/// What one [`IncrementalClustering::insert`] did, for observability and
+/// back-pressure decisions in serving loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InsertReport {
+    /// Segments the MDL partitioner produced for this trajectory.
+    pub new_segments: usize,
+    /// Existing segments whose core-ness flipped and were re-expanded.
+    pub flipped_cores: usize,
+    /// Whether the dirty-region threshold forced a full re-cluster.
+    pub rebuilt: bool,
+}
+
+/// Cumulative counters over the lifetime of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Trajectories ingested (including ones that partitioned to nothing).
+    pub trajectories: usize,
+    /// Segments appended to the database.
+    pub segments: usize,
+    /// Existing segments promoted to core by a later insertion.
+    pub core_flips: usize,
+    /// Insertions resolved by local repair.
+    pub local_repairs: usize,
+    /// Insertions resolved by the full re-cluster fallback.
+    pub full_rebuilds: usize,
+}
+
+/// The online TRACLUS engine: accepts one trajectory at a time and keeps
+/// the line-segment clustering current.
+///
+/// Construct it from a [`TraclusConfig`] (directly or via
+/// [`crate::Traclus::stream`]), feed trajectories with [`Self::insert`],
+/// read the clustering at any point with [`Self::snapshot`], and finish
+/// with [`Self::finish`] for the full pipeline outcome including
+/// representative trajectories (Section 4.3).
+///
+/// ```
+/// use traclus_core::{IncrementalClustering, Traclus, TraclusConfig};
+/// use traclus_geom::{Point2, Trajectory, TrajectoryId};
+///
+/// // Eight trajectories sharing one horizontal corridor.
+/// let trajectories: Vec<Trajectory<2>> = (0..8)
+///     .map(|i| {
+///         Trajectory::new(
+///             TrajectoryId(i),
+///             (0..25)
+///                 .map(|k| Point2::xy(k as f64 * 4.0, i as f64 * 0.3))
+///                 .collect(),
+///         )
+///     })
+///     .collect();
+/// let config = TraclusConfig {
+///     eps: 5.0,
+///     min_lns: 3,
+///     ..TraclusConfig::default()
+/// };
+///
+/// // Stream them in one at a time…
+/// let mut engine = IncrementalClustering::<2>::new(config);
+/// for tr in &trajectories {
+///     engine.insert(tr);
+/// }
+///
+/// // …and the result is the batch clustering, label for label.
+/// let batch = Traclus::new(config).run(&trajectories);
+/// assert_eq!(engine.snapshot(), batch.clustering);
+/// ```
+#[derive(Clone)]
+pub struct IncrementalClustering<const D: usize> {
+    config: TraclusConfig,
+    cluster: ClusterConfig,
+    stream: StreamConfig,
+    db: SegmentDatabase<D>,
+    index: NeighborIndex<D>,
+    /// `|Nε(L)|` per segment (weighted when configured; self included),
+    /// maintained incrementally in ascending-id accumulation order — the
+    /// same order the batch pass sums in, so the values are bit-identical.
+    counts: Vec<f64>,
+    /// Definition 5 core flags, monotone under insertion (for non-negative
+    /// weights).
+    core: Vec<bool>,
+    /// Union-find over core segments; min-root, so a component's root is
+    /// its minimum core id.
+    dsu: UnionFind,
+    /// For each non-core segment: core ids within ε that claim it as a
+    /// border member (cleared if the segment later becomes core itself).
+    claims: Vec<Vec<u32>>,
+    stats: StreamStats,
+    /// Reusable neighborhood scratch.
+    scratch: Vec<u32>,
+}
+
+/// Claim lists are deduplicated once they outgrow this many entries
+/// (weighted databases can have non-core segments with arbitrarily many
+/// core neighbours; unweighted ones are bounded by `MinLns` anyway).
+const CLAIM_DEDUP_LEN: usize = 16;
+
+impl<const D: usize> IncrementalClustering<D> {
+    /// An empty engine bound to a pipeline configuration (the `stream`
+    /// field supplies the maintenance knobs).
+    pub fn new(config: TraclusConfig) -> Self {
+        assert!(config.eps > 0.0 && config.eps.is_finite(), "ε must be > 0");
+        assert!(config.min_lns >= 1, "MinLns must be ≥ 1");
+        let cluster = config.cluster_config();
+        let db = SegmentDatabase::from_segments(Vec::new(), config.distance);
+        let index = db.build_index(cluster.index, cluster.eps);
+        Self {
+            config,
+            cluster,
+            stream: config.stream,
+            db,
+            index,
+            counts: Vec::new(),
+            core: Vec::new(),
+            dsu: UnionFind::new(0),
+            claims: Vec::new(),
+            stats: StreamStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &TraclusConfig {
+        &self.config
+    }
+
+    /// The growing segment database (phase 1 output so far).
+    pub fn database(&self) -> &SegmentDatabase<D> {
+        &self.db
+    }
+
+    /// Number of segments ingested so far.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True before the first segment-producing insertion.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Lifetime counters (trajectories, segments, flips, rebuilds).
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Ingests one trajectory: partitions it (Figure 8), appends and
+    /// indexes its segments, and repairs cluster state — locally when the
+    /// dirty region stays under [`StreamConfig::rebuild_threshold`], by a
+    /// full re-cluster otherwise. Returns what happened.
+    pub fn insert(&mut self, trajectory: &Trajectory<D>) -> InsertReport {
+        self.stats.trajectories += 1;
+        let first = self.db.len() as u32;
+        let segments = partition_trajectory_from(&self.config.partition, trajectory, first);
+        let new_count = segments.len();
+        self.stats.segments += new_count;
+        if new_count == 0 {
+            return InsertReport::default();
+        }
+        self.db.append_segments(segments);
+        let n = self.db.len() as u32;
+        for id in first..n {
+            self.index.insert(id, self.db.bbox_of(id));
+            self.counts.push(0.0);
+            self.core.push(false);
+            self.claims.push(Vec::new());
+            self.dsu.push();
+        }
+
+        // ε-neighborhoods of every new segment, against the whole database
+        // (new segments included — they are already indexed).
+        let mut hoods: Vec<Vec<u32>> = Vec::with_capacity(new_count);
+        for id in first..n {
+            self.db
+                .neighborhood_into(&self.index, id, self.cluster.eps, &mut self.scratch);
+            hoods.push(self.scratch.clone());
+        }
+
+        // Update cardinalities: each new segment gets its full neighborhood
+        // sum; each pre-existing neighbour gains the new segment's
+        // contribution. Both accumulate in ascending-id order, matching the
+        // batch pass bit for bit.
+        let mut touched: Vec<u32> = Vec::new();
+        for (k, hood) in hoods.iter().enumerate() {
+            let id = first + k as u32;
+            self.counts[id as usize] = self
+                .db
+                .neighborhood_cardinality(hood, self.cluster.weighted);
+            let gain = if self.cluster.weighted {
+                self.db.segment(id).weight
+            } else {
+                1.0
+            };
+            for &b in hood {
+                if b < first {
+                    self.counts[b as usize] += gain;
+                    touched.push(b);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Segments whose core-ness flipped. Promotions are repaired
+        // locally; a demotion (possible only with negative weights) cannot
+        // be — the union-find is monotone — so it forces the rebuild path.
+        let mut flips: Vec<u32> = Vec::new();
+        let mut demoted = false;
+        for &b in &touched {
+            let is_core_now = self.counts[b as usize] >= self.cluster.min_lns;
+            match (self.core[b as usize], is_core_now) {
+                (false, true) => flips.push(b),
+                (true, false) => demoted = true,
+                _ => {}
+            }
+        }
+        let flipped_cores = flips.len();
+
+        let dirty = new_count + flipped_cores;
+        let rebuilt =
+            demoted || (dirty as f64) > self.stream.rebuild_threshold * self.db.len() as f64;
+        if rebuilt {
+            self.rebuild();
+            self.stats.full_rebuilds += 1;
+        } else {
+            self.repair_locally(first, &hoods, &flips);
+            self.stats.local_repairs += 1;
+        }
+        self.stats.core_flips += flipped_cores;
+        InsertReport {
+            new_segments: new_count,
+            flipped_cores,
+            rebuilt,
+        }
+    }
+
+    /// Ingests a whole sequence, returning the number of trajectories.
+    pub fn extend<'a>(
+        &mut self,
+        trajectories: impl IntoIterator<Item = &'a Trajectory<D>>,
+    ) -> usize {
+        let mut count = 0;
+        for tr in trajectories {
+            self.insert(tr);
+            count += 1;
+        }
+        count
+    }
+
+    /// Local repair: mark the new core flags, then re-expand exactly the
+    /// dirty region — flipped segments get a fresh ε-query, new segments
+    /// reuse the neighborhoods computed during the count update — unioning
+    /// core–core edges and recording core→border claims.
+    fn repair_locally(&mut self, first: u32, hoods: &[Vec<u32>], flips: &[u32]) {
+        let n = self.db.len() as u32;
+        for &b in flips {
+            self.core[b as usize] = true;
+        }
+        for id in first..n {
+            self.core[id as usize] = self.counts[id as usize] >= self.cluster.min_lns;
+        }
+        // Segments that became core *this* insertion, ascending (flips are
+        // all below `first`, new ids at/above it). Their own expansions
+        // record every edge they participate in; older cores' edges to new
+        // non-core segments are recorded from the non-core side below.
+        let mut fresh: Vec<u32> = flips.to_vec();
+        fresh.extend((first..n).filter(|&id| self.core[id as usize]));
+        for &c in flips {
+            self.db
+                .neighborhood_into(&self.index, c, self.cluster.eps, &mut self.scratch);
+            let hood = std::mem::take(&mut self.scratch);
+            self.expand_core(c, &hood);
+            self.scratch = hood;
+        }
+        for (k, hood) in hoods.iter().enumerate() {
+            let id = first + k as u32;
+            if self.core[id as usize] {
+                self.expand_core(id, hood);
+            } else {
+                for &m in hood {
+                    if m != id && self.core[m as usize] && fresh.binary_search(&m).is_err() {
+                        push_claim(&mut self.claims[id as usize], m);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One freshly core segment's expansion: union with every core
+    /// neighbour, claim every non-core neighbour, and drop any claims made
+    /// on the segment while it was still a border candidate.
+    fn expand_core(&mut self, c: u32, hood: &[u32]) {
+        self.claims[c as usize] = Vec::new();
+        for &m in hood {
+            if m == c {
+                continue;
+            }
+            if self.core[m as usize] {
+                self.dsu.union(c, m);
+            } else {
+                push_claim(&mut self.claims[m as usize], c);
+            }
+        }
+    }
+
+    /// The fallback: recompute counts, core flags, components, and claims
+    /// from scratch over the whole database, against a freshly bulk-built
+    /// index (undoing any R-tree degradation from incremental inserts).
+    ///
+    /// One ε-query per segment: `counts[id]` is fully determined by `id`'s
+    /// own whole-database query, so `core[id]` is final the moment `id` is
+    /// visited. Scanning ids ascending, a backward edge `(b, id)` with
+    /// `b < id` therefore sees two final core flags and can be classified
+    /// (union / claim) immediately; forward edges need no deferral because
+    /// the distance is symmetric — the pair resurfaces as the backward
+    /// edge of its later endpoint. (The sharded workers in [`crate::shard`]
+    /// must defer instead, because a worker only ever queries its own
+    /// members.)
+    fn rebuild(&mut self) {
+        let n = self.db.len() as u32;
+        self.index = self.db.build_index(self.cluster.index, self.cluster.eps);
+        self.dsu = UnionFind::new(n);
+        for id in 0..n {
+            self.db
+                .neighborhood_into(&self.index, id, self.cluster.eps, &mut self.scratch);
+            self.counts[id as usize] = self
+                .db
+                .neighborhood_cardinality(&self.scratch, self.cluster.weighted);
+            let id_core = self.counts[id as usize] >= self.cluster.min_lns;
+            self.core[id as usize] = id_core;
+            self.claims[id as usize] = Vec::new();
+            let hood = std::mem::take(&mut self.scratch);
+            for &b in hood.iter().take_while(|&&b| b < id) {
+                match (id_core, self.core[b as usize]) {
+                    (true, true) => self.dsu.union(id, b),
+                    (true, false) => push_claim(&mut self.claims[b as usize], id),
+                    (false, true) => push_claim(&mut self.claims[id as usize], b),
+                    (false, false) => {}
+                }
+            }
+            self.scratch = hood;
+        }
+    }
+
+    /// The current clustering, identical to what the batch
+    /// [`crate::LineSegmentClustering::run`] produces on the segments
+    /// ingested so far: components are numbered in ascending minimum-core-id
+    /// order (the sequential seed order), border segments join their
+    /// earliest claiming component, and the Definition 10
+    /// trajectory-cardinality filter runs last.
+    pub fn snapshot(&self) -> Clustering {
+        let n = self.db.len();
+        let mut comp_of_root = vec![u32::MAX; n];
+        let mut raw: Vec<Option<u32>> = vec![None; n];
+        let mut cluster_count = 0u32;
+        for id in 0..n as u32 {
+            if !self.core[id as usize] {
+                continue;
+            }
+            let root = self.dsu.find_readonly(id) as usize;
+            if comp_of_root[root] == u32::MAX {
+                comp_of_root[root] = cluster_count;
+                cluster_count += 1;
+            }
+            raw[id as usize] = Some(comp_of_root[root]);
+        }
+        for id in 0..n {
+            if self.core[id] || self.claims[id].is_empty() {
+                continue;
+            }
+            let comp = self.claims[id]
+                .iter()
+                .map(|&c| comp_of_root[self.dsu.find_readonly(c) as usize])
+                .min()
+                .expect("non-empty claim list");
+            raw[id] = Some(comp);
+        }
+        finalize_raw(
+            &self.db,
+            &raw,
+            cluster_count,
+            self.cluster.trajectory_threshold(),
+        )
+    }
+
+    /// Consumes the engine and returns the full pipeline outcome — the
+    /// current clustering plus one representative trajectory per cluster,
+    /// exactly as [`crate::Traclus::run`] would deliver for the ingested
+    /// trajectories.
+    pub fn finish(self) -> TraclusOutcome<D> {
+        let clustering = self.snapshot();
+        crate::attach_representatives(&self.config, self.db, clustering)
+    }
+}
+
+/// Appends a claiming core, compacting (sort + dedup) only when the list
+/// is both past [`CLAIM_DEDUP_LEN`] and out of capacity, then reserving
+/// headroom proportional to the distinct count — so a border segment with
+/// `k` distinct claiming cores pays O(k log k) per *doubling*, not per
+/// push. Duplicates are harmless for correctness (the snapshot takes a
+/// min); compaction only bounds memory.
+fn push_claim(claims: &mut Vec<u32>, core_id: u32) {
+    if claims.len() >= CLAIM_DEDUP_LEN && claims.len() == claims.capacity() {
+        claims.sort_unstable();
+        claims.dedup();
+        claims.reserve(claims.len().max(CLAIM_DEDUP_LEN));
+    }
+    claims.push(core_id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LineSegmentClustering;
+    use traclus_geom::{Point2, TrajectoryId};
+
+    /// A straight horizontal trajectory at height `y` with `points` fixes.
+    fn corridor(id: u32, y: f64, points: usize) -> Trajectory<2> {
+        Trajectory::new(
+            TrajectoryId(id),
+            (0..points).map(|k| Point2::xy(k as f64 * 5.0, y)).collect(),
+        )
+    }
+
+    fn config(eps: f64, min_lns: usize) -> TraclusConfig {
+        TraclusConfig {
+            eps,
+            min_lns,
+            ..TraclusConfig::default()
+        }
+    }
+
+    fn batch_clustering(config: &TraclusConfig, trajectories: &[Trajectory<2>]) -> Clustering {
+        let db =
+            SegmentDatabase::from_trajectories(trajectories, &config.partition, config.distance);
+        LineSegmentClustering::new(&db, config.cluster_config()).run()
+    }
+
+    #[test]
+    fn empty_engine_snapshot_is_empty() {
+        let engine = IncrementalClustering::<2>::new(config(2.0, 3));
+        let snap = engine.snapshot();
+        assert!(snap.clusters.is_empty());
+        assert!(snap.labels.is_empty());
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    fn degenerate_trajectories_produce_no_segments() {
+        let mut engine = IncrementalClustering::<2>::new(config(2.0, 3));
+        // Single point: nothing to partition.
+        let report = engine.insert(&Trajectory::new(
+            TrajectoryId(0),
+            vec![Point2::xy(1.0, 1.0)],
+        ));
+        assert_eq!(report, InsertReport::default());
+        // All points identical: every partition is degenerate and dropped.
+        let report = engine.insert(&Trajectory::new(
+            TrajectoryId(1),
+            vec![Point2::xy(2.0, 2.0); 5],
+        ));
+        assert_eq!(report.new_segments, 0);
+        assert!(engine.is_empty());
+        assert_eq!(engine.stats().trajectories, 2);
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_growing_corridor() {
+        let trajectories: Vec<Trajectory<2>> =
+            (0..7).map(|i| corridor(i, i as f64 * 0.4, 20)).collect();
+        let cfg = config(3.0, 3);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        for k in 0..trajectories.len() {
+            engine.insert(&trajectories[k]);
+            // The invariant is strong: after EVERY insertion the snapshot
+            // equals the batch run on the prefix, label for label.
+            assert_eq!(
+                engine.snapshot(),
+                batch_clustering(&cfg, &trajectories[..=k]),
+                "diverged after trajectory {k}"
+            );
+        }
+        assert_eq!(engine.stats().trajectories, 7);
+        assert_eq!(engine.len(), engine.snapshot().labels.len());
+    }
+
+    #[test]
+    fn late_arrival_flips_borders_to_core() {
+        // Two trajectories are too sparse to cluster; the third makes the
+        // earlier segments core retroactively.
+        let trajectories: Vec<Trajectory<2>> =
+            (0..3).map(|i| corridor(i, i as f64 * 0.3, 15)).collect();
+        let cfg = config(2.0, 3);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.insert(&trajectories[0]);
+        engine.insert(&trajectories[1]);
+        assert!(
+            engine.snapshot().clusters.is_empty(),
+            "not dense enough yet"
+        );
+        let report = engine.insert(&trajectories[2]);
+        assert!(
+            report.rebuilt || report.flipped_cores > 0,
+            "third corridor must promote earlier segments"
+        );
+        let snap = engine.snapshot();
+        assert_eq!(snap.clusters.len(), 1);
+        assert_eq!(snap, batch_clustering(&cfg, &trajectories));
+    }
+
+    #[test]
+    fn bridge_trajectory_merges_two_clusters() {
+        // Two far-apart corridors cluster separately; a later bridge at an
+        // intermediate height connects them into one component.
+        let mut trajectories: Vec<Trajectory<2>> = Vec::new();
+        for i in 0..4 {
+            trajectories.push(corridor(i, i as f64 * 0.3, 15));
+        }
+        for i in 0..4 {
+            trajectories.push(corridor(10 + i, 4.0 + i as f64 * 0.3, 15));
+        }
+        let cfg = config(2.0, 3);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.extend(&trajectories);
+        assert_eq!(
+            engine.snapshot().clusters.len(),
+            2,
+            "two separate corridors"
+        );
+        // The bridge sits within ε of the top of band A (y = 0.9) and the
+        // bottom of band B (y = 4.0), and is itself core.
+        trajectories.push(corridor(99, 2.45, 15));
+        engine.insert(trajectories.last().unwrap());
+        let snap = engine.snapshot();
+        assert_eq!(snap.clusters.len(), 1, "bridge merges the components");
+        assert_eq!(snap, batch_clustering(&cfg, &trajectories));
+    }
+
+    #[test]
+    fn rebuild_thresholds_change_work_not_results() {
+        let trajectories: Vec<Trajectory<2>> =
+            (0..6).map(|i| corridor(i, i as f64 * 0.4, 18)).collect();
+        let base = config(3.0, 3);
+        let mut snapshots = Vec::new();
+        for threshold in [0.0, 0.25, 1.0] {
+            let cfg = TraclusConfig {
+                stream: StreamConfig {
+                    rebuild_threshold: threshold,
+                },
+                ..base
+            };
+            let mut engine = IncrementalClustering::<2>::new(cfg);
+            engine.extend(&trajectories);
+            if threshold == 0.0 {
+                assert_eq!(
+                    engine.stats().local_repairs,
+                    0,
+                    "threshold 0 must always rebuild"
+                );
+            }
+            if threshold >= 1.0 {
+                assert_eq!(
+                    engine.stats().full_rebuilds,
+                    0,
+                    "threshold ≥ 1 must never rebuild"
+                );
+            }
+            snapshots.push(engine.snapshot());
+        }
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[0], snapshots[2]);
+        assert_eq!(snapshots[0], batch_clustering(&base, &trajectories));
+    }
+
+    #[test]
+    fn finish_attaches_representatives() {
+        let trajectories: Vec<Trajectory<2>> =
+            (0..5).map(|i| corridor(i, i as f64 * 0.4, 20)).collect();
+        let cfg = config(3.0, 3);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.extend(&trajectories);
+        let outcome = engine.finish();
+        assert_eq!(outcome.clusters.len(), outcome.clustering.clusters.len());
+        assert!(!outcome.clusters.is_empty());
+        for c in &outcome.clusters {
+            assert!(c.representative.points.len() >= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be > 0")]
+    fn non_positive_eps_rejected() {
+        let _ = IncrementalClustering::<2>::new(config(0.0, 3));
+    }
+}

@@ -2,7 +2,7 @@
 //! plus Guttman-style insertion with quadratic split.
 //!
 //! The paper's Lemma 3 invokes "an appropriate index such as the R-tree
-//! [10]" (Guttman, SIGMOD 1984) to bring ε-neighborhood queries from O(n)
+//! \[10\]" (Guttman, SIGMOD 1984) to bring ε-neighborhood queries from O(n)
 //! to O(log n). Bulk loading handles the common TRACLUS flow — partition
 //! all trajectories, then index all segments at once — while insertion
 //! supports incremental use.

@@ -12,7 +12,9 @@
 //! * [`core`] — MDL partitioning (Section 3), density-based line-segment
 //!   clustering (Section 4.2; sequential and sharded-parallel, selected by
 //!   the `Parallelism` knob), representative trajectories (Section 4.3),
-//!   and the parameter-selection heuristics (Section 4.4);
+//!   the parameter-selection heuristics (Section 4.4), and the streaming
+//!   engine (`IncrementalClustering`) that ingests trajectories one at a
+//!   time while keeping the clustering identical to a batch run;
 //! * [`index`] — R-tree / grid substrate for ε-neighborhood queries
 //!   (Lemma 3);
 //! * [`data`] — synthetic generators standing in for the paper's hurricane
@@ -68,6 +70,7 @@ pub mod prelude {
         quality::QMeasure,
         representative::RepresentativeConfig,
         segment_db::SegmentDatabase,
+        stream::{IncrementalClustering, InsertReport, StreamConfig, StreamStats},
         Traclus, TraclusConfig, TraclusOutcome,
     };
     pub use traclus_geom::{

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::Range;
 
-/// Admissible element-count shapes for [`vec`].
+/// Admissible element-count shapes for [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
