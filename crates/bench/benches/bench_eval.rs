@@ -1,0 +1,82 @@
+//! Evaluation-harness benchmarks: the cost of scoring a clustering
+//! (exact vs sampled silhouette) and of a full cross-algorithm sweep —
+//! the numbers that decide how large a survey run can afford to be.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use traclus_core::{Parallelism, SegmentDatabase, Traclus, TraclusConfig};
+use traclus_data::{generate_scene, SceneConfig};
+use traclus_eval::{
+    compute_metrics_sampled, evaluate_dataset, segment_silhouette_sampled, ClusteringResult,
+    EvalConfig,
+};
+
+fn scene_outcome() -> (
+    Vec<traclus_geom::Trajectory<2>>,
+    traclus_core::TraclusOutcome<2>,
+) {
+    let scene = generate_scene(&SceneConfig {
+        per_backbone: 12,
+        noise_fraction: 0.2,
+        seed: 5,
+        ..SceneConfig::default()
+    });
+    let outcome = Traclus::new(TraclusConfig {
+        eps: 7.0,
+        min_lns: 5,
+        parallelism: Parallelism::Sequential,
+        ..TraclusConfig::default()
+    })
+    .run(&scene.trajectories);
+    (scene.trajectories, outcome)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let (trajectories, outcome) = scene_outcome();
+    let db: &SegmentDatabase<2> = &outcome.database;
+    let result = ClusteringResult::from_outcome("traclus", &outcome);
+
+    let mut group = c.benchmark_group("eval");
+    group.sample_size(10);
+
+    // Silhouette cost vs sampling cap: the knob that keeps survey-scale
+    // runs affordable (cap = usize::MAX is the exact O(n²) sweep).
+    for cap in [16usize, 64, 256, usize::MAX] {
+        let label = if cap == usize::MAX {
+            "exact".to_string()
+        } else {
+            cap.to_string()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("silhouette_cap", label),
+            &cap,
+            |b, &cap| {
+                b.iter(|| {
+                    black_box(segment_silhouette_sampled(
+                        black_box(db),
+                        black_box(&result.labels),
+                        cap,
+                        17,
+                    ))
+                })
+            },
+        );
+    }
+
+    group.bench_function("all_metrics_cap256", |b| {
+        b.iter(|| black_box(compute_metrics_sampled(db, &result, 256, 17)))
+    });
+
+    group.bench_function("full_sweep_7_entries", |b| {
+        b.iter(|| {
+            black_box(evaluate_dataset(
+                "scene",
+                black_box(&trajectories),
+                &EvalConfig::single(7.0, 5),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! GeoLife PLT directory loader.
+//!
+//! The Microsoft Research GeoLife corpus ships one directory per user,
+//! each holding `Trajectory/*.plt` GPS logs. A PLT file starts with six
+//! header lines, then one fix per line:
+//!
+//! ```text
+//! Geolife trajectory
+//! WGS 84
+//! Altitude is in Feet
+//! Reserved 3
+//! 0,2,255,My Track,0,0,2,8421376
+//! 0
+//! 39.906631,116.385564,0,492,39716.1201388889,2008-10-25,02:53:00
+//! ```
+//!
+//! Fields per fix: latitude, longitude, a reserved `0`, altitude (feet),
+//! fractional days since 1899-12-30, date, time. The loader reads
+//! latitude/longitude and the fractional-days clock (converted to
+//! seconds), producing points as `(x = lon, y = lat)` — the same
+//! convention as [`crate::io::parse_best_track`] — and applies
+//! [`LoadOptions`] gap splitting, which matters on GPS logs: GeoLife
+//! devices pause indoors, and clustering across a multi-hour gap would
+//! fabricate a transition segment that was never travelled.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+use traclus_geom::{Point2, Trajectory};
+
+use crate::io::IoError;
+use crate::loader::{densify_ids, file_stem, DatasetLoader, LoadOptions};
+
+/// Number of header lines a PLT file starts with.
+const PLT_HEADER_LINES: usize = 6;
+
+/// [`DatasetLoader`] over a GeoLife-style directory tree.
+///
+/// `root` may point at the corpus root (user directories containing
+/// `Trajectory/` subdirectories), at a single user directory, or directly
+/// at a directory of `.plt` files; all three layouts are walked. Files are
+/// visited in lexicographic path order so ids are deterministic.
+#[derive(Debug, Clone)]
+pub struct GeoLifeLoader {
+    /// The directory to walk.
+    pub root: PathBuf,
+    /// Preprocessing; the default splits on gaps longer than 10 minutes,
+    /// the conventional GeoLife session break.
+    pub options: LoadOptions,
+}
+
+impl GeoLifeLoader {
+    /// Loader with the conventional 10-minute session split.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            options: LoadOptions {
+                gap_split: Some(600.0),
+                ..LoadOptions::default()
+            },
+        }
+    }
+}
+
+impl DatasetLoader for GeoLifeLoader {
+    fn name(&self) -> String {
+        format!("geolife:{}", file_stem(&self.root))
+    }
+
+    fn load(&self) -> Result<Vec<Trajectory<2>>, IoError> {
+        let files = collect_plt_files(&self.root)?;
+        if files.is_empty() {
+            return Err(IoError::Schema(format!(
+                "no .plt files under {}",
+                self.root.display()
+            )));
+        }
+        let mut pieces: Vec<Vec<Point2>> = Vec::new();
+        for path in files {
+            let fixes = read_plt_file(&path)?;
+            pieces.extend(self.options.split_track(&fixes));
+        }
+        Ok(densify_ids(pieces))
+    }
+}
+
+/// Recursively collects `.plt` paths under `root`, sorted for
+/// deterministic trajectory ids.
+fn collect_plt_files(root: &Path) -> Result<Vec<PathBuf>, IoError> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| IoError::in_file(&dir, e.into()))?;
+        for entry in entries {
+            let path = entry.map_err(|e| IoError::in_file(&dir, e.into()))?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("plt"))
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Parses one PLT file into `(point, seconds)` fixes. Errors are wrapped
+/// as [`IoError::InFile`] so multi-file loads report the offending log.
+pub fn read_plt_file(path: &Path) -> Result<Vec<(Point2, f64)>, IoError> {
+    let file = File::open(path).map_err(|e| IoError::in_file(path, e.into()))?;
+    parse_plt(BufReader::new(file)).map_err(|e| IoError::in_file(path, e))
+}
+
+/// Parses PLT content from any reader (the testable core of
+/// [`read_plt_file`]).
+pub fn parse_plt<R: BufRead>(reader: R) -> Result<Vec<(Point2, f64)>, IoError> {
+    let mut fixes = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno < PLT_HEADER_LINES {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 5 {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: format!("expected at least 5 PLT fields, got {}", fields.len()),
+            });
+        }
+        let num = |idx: usize, what: &str| -> Result<f64, IoError> {
+            fields[idx]
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| IoError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let lat = num(0, "latitude")?;
+        let lon = num(1, "longitude")?;
+        let days = num(4, "timestamp (days)")?;
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: format!("coordinate out of range: lat {lat}, lon {lon}"),
+            });
+        }
+        // f64::from_str accepts "inf"/"nan"; a NaN clock would silently
+        // disable gap splitting (every `t - prev > gap` is false), so
+        // reject it here like the CSV path does.
+        if !days.is_finite() {
+            return Err(IoError::Parse {
+                line: lineno + 1,
+                message: format!("non-finite timestamp (days): {days}"),
+            });
+        }
+        fixes.push((Point2::xy(lon, lat), days * 86_400.0));
+    }
+    Ok(fixes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const HEADER: &str = "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n0,2,255,My Track,0,0,2,8421376\n0\n";
+
+    #[test]
+    fn parses_fixes_after_the_header() {
+        let text = format!(
+            "{HEADER}39.9,116.3,0,492,39716.0,2008-10-25,00:00:00\n\
+             39.901,116.301,0,492,39716.0001,2008-10-25,00:00:09\n"
+        );
+        let fixes = parse_plt(Cursor::new(text)).unwrap();
+        assert_eq!(fixes.len(), 2);
+        assert_eq!(fixes[0].0, Point2::xy(116.3, 39.9), "x = lon, y = lat");
+        let dt = fixes[1].1 - fixes[0].1;
+        assert!((dt - 8.64).abs() < 1e-6, "0.0001 days = 8.64 s, got {dt}");
+    }
+
+    #[test]
+    fn short_rows_are_parse_errors_with_line_numbers() {
+        let text = format!("{HEADER}39.9,116.3\n");
+        match parse_plt(Cursor::new(text)).unwrap_err() {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 7);
+                assert!(message.contains("PLT fields"), "{message}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_timestamp_rejected() {
+        for bad in ["nan", "inf", "-inf"] {
+            let text = format!("{HEADER}39.9,116.3,0,492,{bad},2008-10-25,00:00:00\n");
+            assert!(
+                matches!(
+                    parse_plt(Cursor::new(text)).unwrap_err(),
+                    IoError::Parse { line: 7, .. }
+                ),
+                "{bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_coordinates_rejected() {
+        let text = format!("{HEADER}99.0,116.3,0,492,39716.0,2008-10-25,00:00:00\n");
+        assert!(matches!(
+            parse_plt(Cursor::new(text)).unwrap_err(),
+            IoError::Parse { line: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn missing_directory_is_typed() {
+        let err = GeoLifeLoader::new("/nonexistent/geolife")
+            .load()
+            .unwrap_err();
+        assert!(matches!(err, IoError::InFile { .. }));
+    }
+}

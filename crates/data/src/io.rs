@@ -27,6 +27,30 @@ pub enum IoError {
         /// What went wrong.
         message: String,
     },
+    /// A loader-level schema problem independent of any particular row
+    /// (e.g. a column mapping that references a column the file cannot
+    /// have, or a dataset directory with the wrong layout).
+    Schema(String),
+    /// An error raised while reading a specific file of a multi-file
+    /// dataset (e.g. one PLT log of a GeoLife directory), wrapping the
+    /// inner error with the offending path.
+    InFile {
+        /// The file that failed to load.
+        path: std::path::PathBuf,
+        /// What went wrong inside it.
+        source: Box<IoError>,
+    },
+}
+
+impl IoError {
+    /// Wraps an error with the path of the file it occurred in, so
+    /// multi-file loaders report *which* file is malformed.
+    pub fn in_file(path: impl Into<std::path::PathBuf>, source: IoError) -> Self {
+        IoError::InFile {
+            path: path.into(),
+            source: Box::new(source),
+        }
+    }
 }
 
 impl std::fmt::Display for IoError {
@@ -34,6 +58,8 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::Schema(message) => write!(f, "schema error: {message}"),
+            IoError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
         }
     }
 }
@@ -42,7 +68,8 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Parse { .. } => None,
+            IoError::Parse { .. } | IoError::Schema(_) => None,
+            IoError::InFile { source, .. } => Some(source.as_ref()),
         }
     }
 }

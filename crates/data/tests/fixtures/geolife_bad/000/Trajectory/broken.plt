@@ -1,0 +1,7 @@
+Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+99.9000,116.3000,0,492,39744.0000000,2008-10-23,00:00:00

@@ -1,0 +1,253 @@
+//! Golden-fixture conformance suite for the dataset loaders.
+//!
+//! The fixtures under `tests/fixtures/` are hand-written, so every
+//! assertion here is against exact, hand-computed values: parsed points,
+//! gap-splitting boundaries, downsampling, and the typed [`IoError`]s the
+//! malformed files must produce. If a loader's behavior drifts, this
+//! suite tells you exactly which trajectory or error shape changed.
+
+use traclus_data::{
+    BestTrackLoader, CsvSchema, DatasetLoader, GeoLifeLoader, InterchangeCsvLoader, IoError,
+    LoadOptions, TimedCsvLoader,
+};
+use traclus_geom::{Point2, Trajectory, TrajectoryId};
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn traj(id: u32, points: &[(f64, f64)]) -> Trajectory<2> {
+    Trajectory::new(
+        TrajectoryId(id),
+        points.iter().map(|&(x, y)| Point2::xy(x, y)).collect(),
+    )
+}
+
+#[test]
+fn geolife_directory_parses_exactly_with_gap_splitting() {
+    // Default GeoLife preprocessing: split on >10-minute gaps. The first
+    // log has a 0.0997685-day (~8620 s) pause after its third fix, so it
+    // yields two trajectories; the second log yields one. Files are
+    // visited in sorted order, so ids are stable.
+    let loaded = GeoLifeLoader::new(fixture("geolife")).load().expect("load");
+    assert_eq!(
+        loaded,
+        vec![
+            traj(0, &[(116.30, 39.90), (116.301, 39.901), (116.302, 39.902)]),
+            traj(1, &[(116.35, 39.95), (116.351, 39.951)]),
+            traj(2, &[(116.40, 40.00), (116.401, 40.001), (116.402, 40.002)]),
+        ],
+        "x = lon, y = lat, split at the 2h24m pause"
+    );
+}
+
+#[test]
+fn geolife_without_gap_splitting_keeps_logs_whole() {
+    let loader = GeoLifeLoader {
+        options: LoadOptions::default(), // gap_split: None
+        ..GeoLifeLoader::new(fixture("geolife"))
+    };
+    let loaded = loader.load().expect("load");
+    assert_eq!(loaded.len(), 2, "one trajectory per PLT log");
+    assert_eq!(loaded[0].points.len(), 5);
+    assert_eq!(loaded[1].points.len(), 3);
+}
+
+#[test]
+fn geolife_downsampling_keeps_every_kth_fix_plus_the_last() {
+    let loader = GeoLifeLoader {
+        options: LoadOptions {
+            gap_split: None,
+            downsample: 2,
+            min_points: 2,
+        },
+        ..GeoLifeLoader::new(fixture("geolife"))
+    };
+    let loaded = loader.load().expect("load");
+    // First log: fixes 0, 2, 4 of the 5.
+    assert_eq!(
+        loaded[0],
+        traj(0, &[(116.30, 39.90), (116.302, 39.902), (116.351, 39.951)])
+    );
+}
+
+#[test]
+fn geolife_malformed_log_is_a_typed_in_file_parse_error() {
+    let err = GeoLifeLoader::new(fixture("geolife_bad"))
+        .load()
+        .expect_err("latitude 99.9 is out of range");
+    match err {
+        IoError::InFile { path, source } => {
+            assert!(path.ends_with("broken.plt"), "wrong file: {path:?}");
+            match *source {
+                IoError::Parse { line, ref message } => {
+                    assert_eq!(line, 7, "first data line after the 6-line header");
+                    assert!(message.contains("out of range"), "{message}");
+                }
+                ref other => panic!("expected Parse inside InFile, got {other}"),
+            }
+        }
+        other => panic!("expected InFile, got {other}"),
+    }
+}
+
+#[test]
+fn timed_csv_parses_exactly_with_gap_splitting() {
+    let loader = TimedCsvLoader {
+        options: LoadOptions {
+            gap_split: Some(3600.0),
+            ..LoadOptions::default()
+        },
+        ..TimedCsvLoader::new(fixture("timed.csv"))
+    };
+    let loaded = loader.load().expect("load");
+    assert_eq!(
+        loaded,
+        vec![
+            traj(0, &[(0.0, 0.0), (1.0, 0.0)]),
+            traj(1, &[(2.0, 0.0), (3.0, 0.0)]),
+            traj(2, &[(10.0, 10.0), (11.0, 10.0)]),
+        ],
+        "track a splits at the ~2 h gap; track b's 60 s gap survives"
+    );
+}
+
+#[test]
+fn timed_csv_without_gap_splitting_groups_by_id_runs() {
+    let loaded = TimedCsvLoader::new(fixture("timed.csv"))
+        .load()
+        .expect("load");
+    assert_eq!(loaded.len(), 2, "one trajectory per contiguous id run");
+    assert_eq!(loaded[0].points.len(), 4);
+    assert_eq!(loaded[1].points.len(), 2);
+}
+
+#[test]
+fn timed_csv_bad_timestamp_is_a_typed_in_file_parse_error() {
+    let err = TimedCsvLoader::new(fixture("timed_bad.csv"))
+        .load()
+        .expect_err("'not-a-time' must not parse");
+    match err {
+        IoError::InFile { path, source } => {
+            assert!(path.ends_with("timed_bad.csv"));
+            assert!(
+                matches!(*source, IoError::Parse { line: 3, .. }),
+                "expected Parse at line 3, got {source}"
+            );
+        }
+        other => panic!("expected InFile, got {other}"),
+    }
+}
+
+#[test]
+fn timed_csv_schema_mismatch_is_a_parse_error_not_a_panic() {
+    // A schema pointing past the file's real width must fail typed.
+    let loader = TimedCsvLoader {
+        schema: CsvSchema {
+            time_column: Some(9),
+            ..CsvSchema::default()
+        },
+        ..TimedCsvLoader::new(fixture("timed.csv"))
+    };
+    let err = loader.load().expect_err("column 9 does not exist");
+    match err {
+        IoError::InFile { source, .. } => {
+            assert!(matches!(*source, IoError::Parse { line: 2, .. }))
+        }
+        other => panic!("expected InFile, got {other}"),
+    }
+}
+
+#[test]
+fn best_track_fixture_parses_exactly() {
+    let loaded = BestTrackLoader::new(fixture("besttrack.txt"))
+        .load()
+        .expect("load");
+    assert_eq!(
+        loaded,
+        vec![
+            traj(0, &[(-40.0, 10.0), (-41.0, 10.5), (-42.0, 11.0)]),
+            traj(1, &[(-60.0, 20.0), (-61.0, 20.5)]),
+        ],
+        "intensity fields ignored, x = lon, y = lat"
+    );
+}
+
+#[test]
+fn best_track_malformed_fix_is_a_typed_in_file_parse_error() {
+    let err = BestTrackLoader::new(fixture("besttrack_bad.txt"))
+        .load()
+        .expect_err("'notanumber' is not a longitude");
+    match err {
+        IoError::InFile { path, source } => {
+            assert!(path.ends_with("besttrack_bad.txt"));
+            match *source {
+                IoError::Parse { line, ref message } => {
+                    assert_eq!(line, 2);
+                    assert!(message.contains("longitude"), "{message}");
+                }
+                ref other => panic!("expected Parse inside InFile, got {other}"),
+            }
+        }
+        other => panic!("expected InFile, got {other}"),
+    }
+}
+
+#[test]
+fn gap_split_on_untimed_formats_is_a_schema_error() {
+    for loader in [
+        Box::new(BestTrackLoader {
+            options: LoadOptions {
+                gap_split: Some(60.0),
+                ..LoadOptions::default()
+            },
+            ..BestTrackLoader::new(fixture("besttrack.txt"))
+        }) as Box<dyn DatasetLoader>,
+        Box::new(InterchangeCsvLoader {
+            options: LoadOptions {
+                gap_split: Some(60.0),
+                ..LoadOptions::default()
+            },
+            ..InterchangeCsvLoader::new(fixture("timed.csv"))
+        }),
+    ] {
+        assert!(
+            matches!(loader.load(), Err(IoError::Schema(_))),
+            "{}: gap splitting without a time axis must be rejected",
+            loader.name()
+        );
+    }
+}
+
+#[test]
+fn empty_geolife_root_is_a_schema_error() {
+    // The fixtures directory itself contains no .plt files at its top
+    // level other than via subdirectories — point at a leaf without any.
+    let dir = std::env::temp_dir().join("traclus_empty_geolife");
+    std::fs::create_dir_all(&dir).unwrap();
+    let err = GeoLifeLoader::new(&dir).load().expect_err("no .plt files");
+    assert!(matches!(err, IoError::Schema(_)));
+}
+
+#[test]
+fn loaders_are_usable_as_trait_objects() {
+    // The evaluation harness iterates heterogeneous loaders; keep the
+    // trait object-safe.
+    let loaders: Vec<Box<dyn DatasetLoader>> = vec![
+        Box::new(GeoLifeLoader::new(fixture("geolife"))),
+        Box::new(TimedCsvLoader::new(fixture("timed.csv"))),
+        Box::new(BestTrackLoader::new(fixture("besttrack.txt"))),
+    ];
+    for loader in &loaders {
+        let loaded = loader.load().expect("every golden fixture loads");
+        assert!(!loaded.is_empty(), "{}", loader.name());
+        for (i, t) in loaded.iter().enumerate() {
+            assert_eq!(t.id.0 as usize, i, "{}: dense ids", loader.name());
+            assert!(
+                t.points.len() >= 2,
+                "{}: min_points respected",
+                loader.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The comparison report: machine-readable JSON (serde-free, hand-rolled
+//! writer — the workspace builds offline) plus an aligned text table for
+//! terminals and READMEs.
+
+use crate::metrics::QualityMetrics;
+
+/// One algorithm × parameter-point evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalEntry {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Parameter name/value pairs.
+    pub params: Vec<(String, String)>,
+    /// Quality metrics.
+    pub metrics: QualityMetrics,
+    /// Wall-clock seconds, end to end from trajectories.
+    pub runtime_secs: f64,
+}
+
+/// A full cross-algorithm comparison on one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Trajectories evaluated.
+    pub trajectories: usize,
+    /// Segments in the shared database.
+    pub segments: usize,
+    /// One entry per algorithm × parameter point.
+    pub entries: Vec<EvalEntry>,
+}
+
+impl EvalReport {
+    /// Validates every entry's metrics plus the runtimes — the smoke gate
+    /// CI runs on the bundled fixtures: any NaN or out-of-range value
+    /// fails with a message naming the offending entry.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.entries {
+            e.metrics
+                .validate()
+                .map_err(|msg| format!("{}/{}: {msg}", self.dataset, e.algorithm))?;
+            if !e.runtime_secs.is_finite() || e.runtime_secs < 0.0 {
+                return Err(format!(
+                    "{}/{}: runtime {} is not a finite non-negative number",
+                    self.dataset, e.algorithm, e.runtime_secs
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the report as JSON. Optional metrics serialise as
+    /// `null`; non-finite numbers also map to `null` so the output is
+    /// always valid JSON (and [`Self::validate`] rejects them anyway).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"dataset\": {},\n", json_string(&self.dataset)));
+        out.push_str(&format!("  \"trajectories\": {},\n", self.trajectories));
+        out.push_str(&format!("  \"segments\": {},\n", self.segments));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"algorithm\": {},\n",
+                json_string(&e.algorithm)
+            ));
+            out.push_str("      \"params\": {");
+            for (j, (k, v)) in e.params.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(k), json_string(v)));
+            }
+            out.push_str("},\n");
+            let m = &e.metrics;
+            out.push_str(&format!(
+                "      \"silhouette\": {},\n",
+                json_opt_f64(m.silhouette)
+            ));
+            out.push_str(&format!(
+                "      \"noise_ratio\": {},\n",
+                json_f64(m.noise_ratio)
+            ));
+            out.push_str(&format!("      \"cluster_count\": {},\n", m.cluster_count));
+            out.push_str(&format!(
+                "      \"cluster_sizes\": {{\"min\": {}, \"max\": {}, \"mean\": {}, \"median\": {}}},\n",
+                m.sizes.min,
+                m.sizes.max,
+                json_f64(m.sizes.mean),
+                json_f64(m.sizes.median)
+            ));
+            out.push_str(&format!("      \"ssq\": {},\n", json_opt_f64(m.ssq)));
+            out.push_str(&format!(
+                "      \"runtime_secs\": {}\n",
+                json_f64(e.runtime_secs)
+            ));
+            out.push_str(if i + 1 < self.entries.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders an aligned text table (one row per entry).
+    pub fn to_table(&self) -> String {
+        let header = [
+            "algorithm".to_string(),
+            "parameters".to_string(),
+            "silhouette".to_string(),
+            "noise".to_string(),
+            "clusters".to_string(),
+            "ssq".to_string(),
+            "runtime".to_string(),
+        ];
+        let mut rows: Vec<[String; 7]> = vec![header];
+        for e in &self.entries {
+            let m = &e.metrics;
+            rows.push([
+                e.algorithm.clone(),
+                e.params
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                m.silhouette
+                    .map(|s| format!("{s:+.3}"))
+                    .unwrap_or_else(|| "—".to_string()),
+                format!("{:.1}%", m.noise_ratio * 100.0),
+                format!("{}", m.cluster_count),
+                m.ssq
+                    .map(|q| format!("{q:.3}"))
+                    .unwrap_or_else(|| "—".to_string()),
+                format!("{:.1} ms", e.runtime_secs * 1e3),
+            ]);
+        }
+        let mut widths = [0usize; 7];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = format!(
+            "{} — {} trajectories, {} segments\n",
+            self.dataset, self.trajectories, self.segments
+        );
+        for (r, row) in rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(widths)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            out.push_str(line.join("  ").trim_end());
+            out.push('\n');
+            if r == 0 {
+                out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SizeStats;
+
+    fn sample_report() -> EvalReport {
+        EvalReport {
+            dataset: "unit".to_string(),
+            trajectories: 3,
+            segments: 12,
+            entries: vec![EvalEntry {
+                algorithm: "traclus-seq".to_string(),
+                params: vec![("eps".to_string(), "5".to_string())],
+                metrics: QualityMetrics {
+                    silhouette: Some(0.75),
+                    noise_ratio: 0.25,
+                    cluster_count: 2,
+                    sizes: SizeStats::from_sizes(vec![5, 4]),
+                    ssq: None,
+                },
+                runtime_secs: 0.001,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let json = sample_report().to_json();
+        for needle in [
+            "\"dataset\": \"unit\"",
+            "\"algorithm\": \"traclus-seq\"",
+            "\"params\": {\"eps\": \"5\"}",
+            "\"silhouette\": 0.75",
+            "\"ssq\": null",
+            "\"cluster_count\": 2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets — a cheap well-formedness check with
+        // no JSON parser available offline.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn table_renders_every_entry() {
+        let table = sample_report().to_table();
+        assert!(table.contains("traclus-seq"));
+        assert!(table.contains("eps=5"));
+        assert!(table.contains("25.0%"));
+        assert!(table.contains("1.0 ms"));
+    }
+
+    #[test]
+    fn validate_flags_bad_runtime() {
+        let mut r = sample_report();
+        r.entries[0].runtime_secs = f64::NAN;
+        let err = r.validate().unwrap_err();
+        assert!(err.contains("traclus-seq"), "{err}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-algorithm sanity on a well-separated fixture: the metrics must
+//! track *ground truth*, not just typecheck. On four widely separated
+//! corridor bundles, TRACLUS and point DBSCAN must both score
+//! near-perfect quality, and degenerate labelings (everything in one
+//! cluster; bundles merged pairwise; bundles scrambled) must score
+//! strictly worse on the axis where each is defined.
+
+use traclus_baselines::dbscan_points;
+use traclus_core::{Parallelism, Traclus, TraclusConfig};
+use traclus_eval::{compute_metrics, segment_silhouette, ssq_to_representatives, ClusteringResult};
+use traclus_geom::{Point, Point2, Trajectory, TrajectoryId};
+
+/// Four bundles of six straight parallel trajectories at the corners of a
+/// 400 × 400 square — well-separated ground truth with no noise.
+fn grid_fixture() -> Vec<Trajectory<2>> {
+    let anchors = [(0.0, 0.0), (400.0, 0.0), (0.0, 400.0), (400.0, 400.0)];
+    let mut out = Vec::new();
+    let mut id = 0u32;
+    for &(ax, ay) in &anchors {
+        for i in 0..6 {
+            let y = ay + i as f64 * 0.4;
+            let points: Vec<Point2> = (0..11)
+                .map(|k| Point2::xy(ax + k as f64 * 4.0, y))
+                .collect();
+            out.push(Trajectory::new(TrajectoryId(id), points));
+            id += 1;
+        }
+    }
+    out
+}
+
+fn traclus_config() -> TraclusConfig {
+    TraclusConfig {
+        eps: 3.0,
+        min_lns: 3,
+        parallelism: Parallelism::Sequential,
+        ..TraclusConfig::default()
+    }
+}
+
+#[test]
+fn traclus_and_point_dbscan_both_score_near_perfect() {
+    let trajectories = grid_fixture();
+    let outcome = Traclus::new(traclus_config()).run(&trajectories);
+    assert_eq!(outcome.clusters.len(), 4, "one cluster per bundle");
+    let db = &outcome.database;
+
+    let traclus = ClusteringResult::from_outcome("traclus", &outcome);
+    let traclus_metrics = compute_metrics(db, &traclus);
+    traclus_metrics.validate().expect("valid metrics");
+    let s_traclus = traclus_metrics.silhouette.expect("4 clusters");
+    assert!(
+        s_traclus > 0.9,
+        "TRACLUS on separated bundles must be near-perfect, got {s_traclus}"
+    );
+    assert!(
+        traclus_metrics.noise_ratio < 0.05,
+        "almost nothing is noise, got {}",
+        traclus_metrics.noise_ratio
+    );
+
+    let midpoints: Vec<Point<2>> = (0..db.len() as u32).map(|id| db.midpoint(id)).collect();
+    let dbscan =
+        ClusteringResult::from_point_labels("point-dbscan", &dbscan_points(&midpoints, 3.0, 3));
+    let dbscan_metrics = compute_metrics(db, &dbscan);
+    dbscan_metrics.validate().expect("valid metrics");
+    assert_eq!(
+        dbscan_metrics.cluster_count, 4,
+        "midpoint blobs are separable"
+    );
+    let s_dbscan = dbscan_metrics.silhouette.expect("4 clusters");
+    assert!(
+        s_dbscan > 0.9,
+        "point DBSCAN on separated bundles must be near-perfect, got {s_dbscan}"
+    );
+}
+
+#[test]
+fn one_cluster_degenerate_labeling_scores_strictly_worse() {
+    let trajectories = grid_fixture();
+    let outcome = Traclus::new(traclus_config()).run(&trajectories);
+    let db = &outcome.database;
+    let good = ClusteringResult::from_outcome("traclus", &outcome);
+
+    // Degenerate: every segment in one cluster, "represented" by the
+    // first bundle's representative alone.
+    let one_cluster: Vec<Option<u32>> = vec![Some(0); db.len()];
+
+    // Silhouette is undefined for a single cluster — that alone
+    // disqualifies the labeling on the silhouette axis.
+    assert_eq!(segment_silhouette(db, &one_cluster), None);
+
+    // On the SSQ axis both labelings are defined, and the degenerate one
+    // must be strictly (here: vastly) worse — far-corner bundles are
+    // ~400 away from the borrowed representative.
+    let ssq_good =
+        ssq_to_representatives(db, &good.labels, &good.representatives).expect("covered");
+    let first_rep = vec![(0u32, good.representatives[0].1.clone())];
+    let ssq_degenerate = ssq_to_representatives(db, &one_cluster, &first_rep).expect("covered");
+    assert!(
+        ssq_degenerate > 100.0 * ssq_good.max(1e-9),
+        "one-cluster labeling must be strictly worse: {ssq_degenerate} vs {ssq_good}"
+    );
+}
+
+#[test]
+fn merged_and_scrambled_labelings_score_strictly_lower_silhouette() {
+    let trajectories = grid_fixture();
+    let outcome = Traclus::new(traclus_config()).run(&trajectories);
+    let db = &outcome.database;
+    let good = ClusteringResult::from_outcome("traclus", &outcome);
+    let s_good = segment_silhouette(db, &good.labels).expect("4 clusters");
+
+    // Merge the four true clusters pairwise into two.
+    let merged: Vec<Option<u32>> = good.labels.iter().map(|l| l.map(|k| k / 2)).collect();
+    let s_merged = segment_silhouette(db, &merged).expect("2 clusters");
+    assert!(
+        s_merged < s_good,
+        "merging true clusters must hurt: {s_merged} vs {s_good}"
+    );
+
+    // Scramble: alternate labels independent of geometry.
+    let scrambled: Vec<Option<u32>> = (0..db.len()).map(|i| Some((i % 2) as u32)).collect();
+    let s_scrambled = segment_silhouette(db, &scrambled).expect("2 clusters");
+    assert!(
+        s_scrambled < 0.0 && s_scrambled < s_merged,
+        "geometry-blind labels must score negative: {s_scrambled}"
+    );
+}

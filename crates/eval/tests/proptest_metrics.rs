@@ -1,0 +1,140 @@
+//! Metric invariants, property-tested over random segment databases and
+//! random (including adversarial) labelings:
+//!
+//! * silhouette, when defined, lies in [-1, 1];
+//! * noise ratio lies in [0, 1];
+//! * every metric is invariant under relabeling cluster ids (the adapter
+//!   makes no density promise, so metrics must not care about label
+//!   values).
+
+use proptest::prelude::*;
+use traclus_core::SegmentDatabase;
+use traclus_eval::{
+    cluster_sizes, noise_ratio, segment_silhouette, ssq_to_representatives, ClusteringResult,
+    SizeStats,
+};
+use traclus_geom::{
+    IdentifiedSegment, Point2, Segment2, SegmentDistance, SegmentId, Trajectory, TrajectoryId,
+};
+
+fn db_of(raw: &[(f64, f64, f64, f64)]) -> SegmentDatabase<2> {
+    let identified = raw
+        .iter()
+        .enumerate()
+        .map(|(k, &(x1, y1, x2, y2))| {
+            IdentifiedSegment::new(
+                SegmentId(k as u32),
+                TrajectoryId((k % 5) as u32),
+                Segment2::xy(x1, y1, x2, y2),
+            )
+        })
+        .collect();
+    SegmentDatabase::from_segments(identified, SegmentDistance::default())
+}
+
+fn coord() -> impl Strategy<Value = f64> {
+    -200.0..200.0f64
+}
+
+prop_compose! {
+    /// A random database plus a random labeling of it: each element is a
+    /// segment with a label drawn from {None, Some(0..5)}.
+    fn labeled_db()(raw in prop::collection::vec(
+        ((coord(), coord(), coord(), coord()), 0u32..6),
+        4..40,
+    )) -> (Vec<(f64, f64, f64, f64)>, Vec<Option<u32>>) {
+        let segments = raw.iter().map(|(s, _)| *s).collect();
+        let labels = raw.iter().map(|&(_, v)| (v < 5).then_some(v)).collect();
+        (segments, labels)
+    }
+}
+
+/// An injective relabeling that scrambles both values and their order.
+fn relabel(labels: &[Option<u32>]) -> Vec<Option<u32>> {
+    labels.iter().map(|l| l.map(|k| 1000 - 13 * k)).collect()
+}
+
+proptest! {
+    #[test]
+    fn silhouette_is_bounded(case in labeled_db()) {
+        let (raw, labels) = case;
+        let db = db_of(&raw);
+        if let Some(s) = segment_silhouette(&db, &labels) {
+            prop_assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of range");
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn noise_ratio_is_bounded(case in labeled_db()) {
+        let (_, labels) = case;
+        let r = noise_ratio(&labels);
+        prop_assert!((0.0..=1.0).contains(&r), "noise ratio {r} out of range");
+    }
+
+    #[test]
+    fn metrics_are_relabeling_invariant(case in labeled_db()) {
+        let (raw, labels) = case;
+        let db = db_of(&raw);
+        let renamed = relabel(&labels);
+        prop_assert_eq!(noise_ratio(&labels), noise_ratio(&renamed));
+        prop_assert_eq!(cluster_sizes(&labels), cluster_sizes(&renamed));
+        let (a, b) = (segment_silhouette(&db, &labels), segment_silhouette(&db, &renamed));
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!(
+                (x - y).abs() < 1e-9,
+                "silhouette changed under relabeling: {x} vs {y}"
+            ),
+            other => prop_assert!(false, "definedness changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ssq_is_relabeling_invariant_and_nonnegative(case in labeled_db()) {
+        let (raw, labels) = case;
+        let db = db_of(&raw);
+        let rep = Trajectory::new(
+            TrajectoryId(0),
+            vec![Point2::xy(-50.0, 0.0), Point2::xy(50.0, 0.0)],
+        );
+        let reps: Vec<(u32, Trajectory<2>)> = (0..5).map(|k| (k, rep.clone())).collect();
+        let renamed_reps: Vec<(u32, Trajectory<2>)> =
+            (0..5).map(|k| (1000 - 13 * k, rep.clone())).collect();
+        let a = ssq_to_representatives(&db, &labels, &reps);
+        let b = ssq_to_representatives(&db, &relabel(&labels), &renamed_reps);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                prop_assert!(x >= 0.0 && x.is_finite());
+                prop_assert!(
+                    (x - y).abs() < 1e-9 * (1.0 + x.abs()),
+                    "SSQ changed under relabeling: {x} vs {y}"
+                );
+            }
+            other => prop_assert!(false, "definedness changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_stats_are_consistent(case in labeled_db()) {
+        let (_, labels) = case;
+        let sizes = cluster_sizes(&labels);
+        let stats = SizeStats::from_sizes(sizes.clone());
+        prop_assert_eq!(stats.clusters, sizes.len());
+        let clustered = labels.iter().filter(|l| l.is_some()).count();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), clustered);
+        if !sizes.is_empty() {
+            prop_assert!(stats.min <= stats.max);
+            prop_assert!(stats.min as f64 <= stats.mean && stats.mean <= stats.max as f64);
+            prop_assert!(stats.min as f64 <= stats.median && stats.median <= stats.max as f64);
+        }
+    }
+
+    #[test]
+    fn cluster_count_matches_distinct_labels(case in labeled_db()) {
+        let (_, labels) = case;
+        let result = ClusteringResult::<2>::new("x", labels.clone());
+        prop_assert_eq!(result.cluster_count(), cluster_sizes(&labels).len());
+    }
+}

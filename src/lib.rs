@@ -18,9 +18,15 @@
 //! * [`index`] — R-tree / grid substrate for ε-neighborhood queries
 //!   (Lemma 3);
 //! * [`data`] — synthetic generators standing in for the paper's hurricane
-//!   and animal-movement datasets, plus CSV loaders;
+//!   and animal-movement datasets, plus real-dataset loaders (GeoLife PLT
+//!   directories, timestamped CSV, best-track) behind the unified
+//!   [`DatasetLoader`](data::DatasetLoader) trait;
 //! * [`baselines`] — whole-trajectory baselines (regression-mixture EM,
 //!   k-means) and OPTICS (Appendix D);
+//! * [`eval`] — the survey-scale evaluation harness: segment-level
+//!   quality metrics under the composite distance, a uniform
+//!   cross-algorithm result adapter, and a machine-readable
+//!   TRACLUS-vs-baselines comparison report;
 //! * [`viz`] — SVG rendering of clustering results.
 //!
 //! ## Quickstart
@@ -57,6 +63,7 @@
 pub use traclus_baselines as baselines;
 pub use traclus_core as core;
 pub use traclus_data as data;
+pub use traclus_eval as eval;
 pub use traclus_geom as geom;
 pub use traclus_index as index;
 pub use traclus_viz as viz;

@@ -1,5 +1,7 @@
-//! Integration: dataset IO round-trips feed the pipeline unchanged, and
-//! the baseline algorithms interoperate with the same trajectory types.
+//! Integration: dataset IO round-trips feed the pipeline unchanged, the
+//! legacy formats and the new loaders share the [`DatasetLoader`] test
+//! surface, and the baseline algorithms interoperate with the same
+//! trajectory types.
 
 use std::io::Cursor;
 
@@ -8,8 +10,19 @@ use traclus::baselines::{
     KMeansConfig, RegressionMixtureConfig,
 };
 use traclus::core::{IndexKind, SegmentDatabase};
-use traclus::data::{generate_scene, read_csv, write_csv, SceneConfig};
+use traclus::data::{
+    generate_scene, read_csv, write_csv, BestTrackLoader, DatasetLoader, GeoLifeLoader,
+    InterchangeCsvLoader, SceneConfig, TimedCsvLoader,
+};
 use traclus::prelude::*;
+
+fn scratch_file(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("traclus_io_and_baselines");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write scratch file");
+    path
+}
 
 #[test]
 fn csv_round_trip_preserves_clustering() {
@@ -27,15 +40,22 @@ fn csv_round_trip_preserves_clustering() {
 
     let mut buf = Vec::new();
     write_csv(&mut buf, &scene.trajectories).expect("serialise");
-    let reloaded = read_csv(Cursor::new(buf)).expect("parse");
+    let reloaded = read_csv(Cursor::new(buf.clone())).expect("parse");
     assert_eq!(reloaded, scene.trajectories);
     let via_csv = Traclus::new(config).run(&reloaded);
     assert_eq!(direct.clustering, via_csv.clustering);
+
+    // The same bytes through the unified loader path produce the same
+    // clustering: legacy parse and trait-based load are one surface.
+    let path = scratch_file("scene.csv", &String::from_utf8(buf).expect("utf8"));
+    let via_loader = InterchangeCsvLoader::new(&path).load().expect("load");
+    assert_eq!(via_loader, scene.trajectories);
+    let outcome = Traclus::new(config).run(&via_loader);
+    assert_eq!(direct.clustering, outcome.clustering);
 }
 
-#[test]
-fn best_track_parser_feeds_the_pipeline() {
-    // A miniature best-track file with three storms sharing a westward leg.
+/// A miniature best-track listing with six storms sharing a westward leg.
+fn synthetic_best_track() -> String {
     let mut text = String::new();
     for storm in 0..6 {
         text.push_str(&format!("STORM SYNTH{storm} 2000\n"));
@@ -45,8 +65,21 @@ fn best_track_parser_feeds_the_pipeline() {
             text.push_str(&format!("{lat:.2} {lon:.2} 65 990\n"));
         }
     }
-    let storms = traclus::data::parse_best_track(&text).expect("parse best track");
+    text
+}
+
+#[test]
+fn best_track_loader_feeds_the_pipeline() {
+    // The legacy path routed through the DatasetLoader trait.
+    let path = scratch_file("synth_best_track.txt", &synthetic_best_track());
+    let loader: Box<dyn DatasetLoader> = Box::new(BestTrackLoader::new(&path));
+    let storms = loader.load().expect("parse best track");
     assert_eq!(storms.len(), 6);
+    // Trait load equals the direct legacy parser, point for point.
+    assert_eq!(
+        storms,
+        traclus::data::parse_best_track(&synthetic_best_track()).expect("legacy parse")
+    );
     let outcome = Traclus::new(TraclusConfig {
         eps: 3.0,
         min_lns: 4,
@@ -58,6 +91,46 @@ fn best_track_parser_feeds_the_pipeline() {
         1,
         "six parallel westward storms form one corridor cluster"
     );
+}
+
+#[test]
+fn every_loader_format_feeds_the_pipeline_through_one_surface() {
+    // One heterogeneous loader list — legacy best-track, timestamped CSV,
+    // GeoLife PLT — all consumed by the identical pipeline code.
+    let best_track = scratch_file("surface_best_track.txt", &synthetic_best_track());
+    let timed_csv = scratch_file(
+        "surface_timed.csv",
+        "track_id,x,y,timestamp\n\
+         0,0.0,0.0,0\n0,4.0,0.1,10\n0,8.0,0.0,20\n\
+         1,0.0,1.0,1000\n1,4.0,1.1,1010\n1,8.0,1.0,1020\n",
+    );
+    let geolife_root = format!(
+        "{}/crates/data/tests/fixtures/geolife",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let loaders: Vec<Box<dyn DatasetLoader>> = vec![
+        Box::new(BestTrackLoader::new(&best_track)),
+        Box::new(TimedCsvLoader::new(&timed_csv)),
+        Box::new(GeoLifeLoader::new(geolife_root)),
+    ];
+    for loader in &loaders {
+        let trajectories = loader.load().expect("golden inputs load");
+        assert!(!trajectories.is_empty(), "{}", loader.name());
+        let outcome = Traclus::new(TraclusConfig {
+            eps: 1.0,
+            min_lns: 2,
+            ..TraclusConfig::default()
+        })
+        .run(&trajectories);
+        // Tiny inputs need not cluster, but the pipeline must accept every
+        // loader's output and label every derived segment.
+        assert_eq!(
+            outcome.clustering.labels.len(),
+            outcome.database.len(),
+            "{}",
+            loader.name()
+        );
+    }
 }
 
 #[test]
