@@ -108,11 +108,7 @@ pub fn kmeans_trajectories<const D: usize>(
         let mut changed = false;
         for (i, f) in features.iter().enumerate() {
             let best = (0..config.k)
-                .min_by(|&a, &b| {
-                    sq_dist(f, &centroids[a])
-                        .partial_cmp(&sq_dist(f, &centroids[b]))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .min_by(|&a, &b| sq_dist(f, &centroids[a]).total_cmp(&sq_dist(f, &centroids[b])))
                 .expect("k ≥ 1");
             if assignments[i] != best {
                 assignments[i] = best;
@@ -135,8 +131,7 @@ pub fn kmeans_trajectories<const D: usize>(
                 let worst = (0..n)
                     .max_by(|&a, &b| {
                         sq_dist(&features[a], &centroids[assignments[a]])
-                            .partial_cmp(&sq_dist(&features[b], &centroids[assignments[b]]))
-                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .total_cmp(&sq_dist(&features[b], &centroids[assignments[b]]))
                     })
                     .expect("non-empty input");
                 centroids[k] = features[worst].clone();

@@ -133,8 +133,7 @@ pub fn optics_generic(
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
                     reach[**a as usize]
-                        .partial_cmp(&reach[**b as usize])
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .total_cmp(&reach[**b as usize])
                         .then(a.cmp(b))
                 })
                 .expect("non-empty seeds");
@@ -168,7 +167,7 @@ fn core_distance(
         return f64::INFINITY;
     }
     let mut ds: Vec<f64> = nbrs.iter().map(|&o| dist(id, o)).collect();
-    ds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    ds.sort_by(f64::total_cmp);
     ds[min_pts - 1]
 }
 
@@ -213,6 +212,30 @@ mod tests {
     use traclus_geom::{
         IdentifiedSegment, Point2, Segment2, SegmentDistance, SegmentId, TrajectoryId,
     };
+
+    #[test]
+    fn core_distance_total_cmp_orders_nan_last_and_ties_stably() {
+        // Regression for the partial_cmp → total_cmp switch: total_cmp
+        // sorts NaN after every real value (including +∞), so a stray NaN
+        // distance can never shadow a real k-th neighbour. The old
+        // `partial_cmp(..).unwrap_or(Equal)` comparator left NaN's sorted
+        // position unspecified (an inconsistent comparator).
+        let ds = [2.0, f64::NAN, 1.0, 1.0];
+        let nbrs = [0u32, 1, 2, 3];
+        let mut dist = |_q: u32, o: u32| ds[o as usize];
+        assert_eq!(core_distance(9, &nbrs, 1, &mut dist), 1.0);
+        assert_eq!(core_distance(9, &nbrs, 2, &mut dist), 1.0, "tied pair");
+        assert_eq!(core_distance(9, &nbrs, 3, &mut dist), 2.0);
+        assert!(
+            core_distance(9, &nbrs, 4, &mut dist).is_nan(),
+            "NaN is deterministically last"
+        );
+        // ±0.0 compare unequal under total_cmp but numerically identical;
+        // the selected core distance is the same value either way.
+        let zs = [0.0, -0.0];
+        let mut dist = |_q: u32, o: u32| zs[o as usize];
+        assert_eq!(core_distance(9, &[0, 1], 2, &mut dist), 0.0);
+    }
 
     #[test]
     fn ordering_covers_every_object_once() {

@@ -87,11 +87,18 @@ pub fn cluster_count(labels: &[PointLabel]) -> usize {
 }
 
 /// Uniform grid over points with cell size ε.
+// Determinism: the cell map is lookup-only — `neighbors_into` probes the
+// 3^D block of keys around the query cell in a fixed offset order and the
+// per-cell id lists are in insertion order; the map is never iterated, so
+// its random iteration order cannot leak into neighbor order.
+#[allow(clippy::disallowed_types)]
 struct PointGrid<const D: usize> {
     cell: f64,
     map: std::collections::HashMap<[i64; D], Vec<usize>>,
 }
 
+// Lookup-only hash container, see the struct-level justification.
+#[allow(clippy::disallowed_types)]
 impl<const D: usize> PointGrid<D> {
     fn build(points: &[Point<D>], cell: f64) -> Self {
         let mut map: std::collections::HashMap<[i64; D], Vec<usize>> =

@@ -223,7 +223,7 @@ pub fn fit_regression_mixture<const D: usize>(
         .map(|r| {
             r.iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(k, _)| k)
                 .unwrap_or(0)
         })
@@ -302,7 +302,7 @@ mod tests {
             },
         );
         let mut w = model.weights.clone();
-        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        w.sort_by(f64::total_cmp);
         assert!((w[0] - 0.25).abs() < 0.1, "small component ≈ 5/20: {w:?}");
         assert!((w[1] - 0.75).abs() < 0.1);
     }

@@ -6,11 +6,16 @@
 //! experiments --list               list experiment ids
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use traclus_bench::experiments::registry;
 use traclus_bench::util::ExperimentContext;
 
+// Wall-clock capture is the point: the experiment driver prints per-figure
+// timings; nothing downstream consumes them.
+#[allow(clippy::disallowed_methods)]
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir = "results".to_string();

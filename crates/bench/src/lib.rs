@@ -7,6 +7,9 @@
 //! to regenerate everything into `results/` (CSV + SVG), or pass a single
 //! experiment id (`fig16`, `fig17`, …; see `experiments --help`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod util;
 

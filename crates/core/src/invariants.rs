@@ -1,0 +1,124 @@
+//! Internal-consistency checkers compiled in by the `invariant-checks`
+//! feature (`cargo test -p traclus-core --features invariant-checks`).
+//!
+//! Each checker asserts a structural invariant the algorithms rely on but
+//! ordinary tests only observe indirectly through final outputs:
+//!
+//! * the union-find stays acyclic and in min-root canonical form (the
+//!   sequential-equivalence arguments in [`crate::shard`] and
+//!   [`crate::stream`] number components by minimum core id — a
+//!   non-canonical root would silently renumber clusters);
+//! * the [`SegmentDatabase`] structure-of-arrays cache stays bit-coherent
+//!   with the authoritative array-of-structs segments after streaming
+//!   appends (the batched distance kernel reads only the SoA);
+//! * an incrementally grown spatial index answers exactly like a full
+//!   scan (a stale or mis-inserted entry would corrupt ε-neighborhoods
+//!   long before any test compares clusterings);
+//! * at sampled points of a stream, `snapshot()` still equals the batch
+//!   run (a cheap in-process spot check of the headline guarantee).
+//!
+//! The checkers are plain `assert!`s: with the feature off they do not
+//! exist and the hot paths carry zero overhead; with it on, the regular
+//! test suite doubles as a sanitizer pass (the CI `invariant-checks` job).
+
+use traclus_geom::SegmentSoa;
+
+use crate::segment_db::{NeighborIndex, SegmentDatabase};
+use crate::shard::UnionFind;
+use crate::IndexKind;
+
+/// Asserts the union-find is acyclic and in min-root canonical form.
+///
+/// Both follow from one local property: every parent pointer is
+/// non-increasing (`parent[x] ≤ x`). Chains then strictly decrease until a
+/// self-loop root, so there are no cycles, and the root reached from any
+/// member is ≤ that member — being itself a member, it is the component
+/// minimum. Union-by-min and path halving both preserve the property;
+/// anything else is a bug.
+pub(crate) fn assert_union_find_canonical(dsu: &UnionFind, context: &str) {
+    for (x, &p) in dsu.parent_slice().iter().enumerate() {
+        assert!(
+            (p as usize) <= x,
+            "invariant-checks[{context}]: union-find parent increases at \
+             {x} -> {p}; min-root canonical form violated"
+        );
+    }
+}
+
+/// Asserts the SoA geometry cache matches a from-scratch recomputation of
+/// the stored segments, field for field (`SegmentSoa` compares all six
+/// component arrays). Streaming appends grow the cache incrementally; any
+/// divergence from the batch construction would feed the batched distance
+/// kernel different operands than the scalar path sees.
+pub(crate) fn assert_soa_coherent<const D: usize>(db: &SegmentDatabase<D>, context: &str) {
+    let fresh = SegmentSoa::from_segments(db.segments().iter().map(|s| &s.segment));
+    assert!(
+        fresh == *db.soa(),
+        "invariant-checks[{context}]: SoA cache diverged from a fresh \
+         rebuild over {} segments",
+        db.len()
+    );
+    for id in 0..db.len() as u32 {
+        assert!(
+            *db.bbox_of(id) == db.segment(id).bounding_box(),
+            "invariant-checks[{context}]: cached bbox of segment {id} \
+             diverged from its segment"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{IncrementalClustering, IndexKind, TraclusConfig};
+    use traclus_geom::{Point2, Trajectory, TrajectoryId};
+
+    /// Drives every checker through the streaming engine with each index
+    /// kind — including the power-of-two snapshot==batch samples at 1, 2,
+    /// 4, and 8 trajectories — so the sanitizer pass runs even if the
+    /// broader suites are filtered.
+    #[test]
+    fn checkers_pass_on_a_streamed_corridor() {
+        for index in [IndexKind::Linear, IndexKind::Grid, IndexKind::RTree] {
+            let config = TraclusConfig {
+                eps: 3.0,
+                min_lns: 3,
+                index,
+                ..TraclusConfig::default()
+            };
+            let mut engine = IncrementalClustering::<2>::new(config);
+            for i in 0..9u32 {
+                engine.insert(&Trajectory::new(
+                    TrajectoryId(i),
+                    (0..15)
+                        .map(|k| Point2::xy(k as f64 * 5.0, i as f64 * 0.4))
+                        .collect(),
+                ));
+            }
+            assert!(!engine.snapshot().clusters.is_empty());
+        }
+    }
+}
+
+/// Asserts the live index answers ε-neighborhood queries for `ids` exactly
+/// like a full scan of the current database — the correctness contract of
+/// [`NeighborIndex::insert`] after incremental growth.
+pub(crate) fn assert_index_consistent<const D: usize>(
+    db: &SegmentDatabase<D>,
+    index: &NeighborIndex<D>,
+    eps: f64,
+    ids: &[u32],
+    context: &str,
+) {
+    let linear = db.build_index(IndexKind::Linear, eps);
+    let mut via_index = Vec::new();
+    let mut via_scan = Vec::new();
+    for &id in ids {
+        db.neighborhood_into(index, id, eps, &mut via_index);
+        db.neighborhood_into(&linear, id, eps, &mut via_scan);
+        assert!(
+            via_index == via_scan,
+            "invariant-checks[{context}]: index disagrees with full scan \
+             for segment {id}: {via_index:?} vs {via_scan:?}"
+        );
+    }
+}

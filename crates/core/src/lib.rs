@@ -39,6 +39,8 @@
 
 pub mod anneal;
 pub mod cluster;
+#[cfg(feature = "invariant-checks")]
+mod invariants;
 pub mod params;
 pub mod partition;
 pub mod quality;

@@ -146,11 +146,9 @@ impl EntropyCurve {
 
     /// The curve's entropy-minimising sample.
     pub fn minimum(&self) -> Option<&EntropyPoint> {
-        self.points.iter().min_by(|a, b| {
-            a.entropy
-                .partial_cmp(&b.entropy)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| a.entropy.total_cmp(&b.entropy))
     }
 }
 

@@ -88,11 +88,7 @@ pub fn representative_trajectory<const D: usize>(
             .members
             .iter()
             .map(|&m| db.segment(m).segment.vector())
-            .max_by(|a, b| {
-                a.norm_squared()
-                    .partial_cmp(&b.norm_squared())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|a, b| a.norm_squared().total_cmp(&b.norm_squared()))
             .unwrap_or_else(Vector::zero);
     }
     let frame = match OrthonormalFrame::from_direction(&avg_dir) {
@@ -131,7 +127,7 @@ pub fn representative_trajectory<const D: usize>(
         });
     }
     // Lines 3–4: sort the endpoints by X′.
-    events.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    events.sort_by(f64::total_cmp);
 
     let mut points: Vec<Point<D>> = Vec::new();
     let mut last_emitted_x: Option<f64> = None;
@@ -234,6 +230,29 @@ mod tests {
             assert!(
                 (p.y() - 2.0).abs() < 1e-9,
                 "centerline at y=2, got {}",
+                p.y()
+            );
+        }
+        let xs: Vec<f64> = rep.points.iter().map(|p| p.x()).collect();
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "monotone along sweep");
+    }
+
+    #[test]
+    fn fully_tied_sweep_events_are_stable_under_total_cmp() {
+        // Regression for the partial_cmp → total_cmp switch in the sweep's
+        // event sort: four identical segments make every event value tie
+        // exactly (and the x = 0 endpoints can carry either zero sign after
+        // the frame rotation). The representative must still be the shared
+        // corridor itself.
+        let segs = vec![Segment2::xy(0.0, 1.0, 10.0, 1.0); 4];
+        let db = db_of(&segs);
+        let rep =
+            representative_trajectory(&db, &cluster_of(4), &RepresentativeConfig::new(3, 0.0));
+        assert!(rep.points.len() >= 2, "degenerate ties must still emit");
+        for p in &rep.points {
+            assert!(
+                (p.y() - 1.0).abs() < 1e-12,
+                "corridor at y=1, got {}",
                 p.y()
             );
         }

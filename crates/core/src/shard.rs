@@ -321,6 +321,9 @@ fn merge_shards<const D: usize>(
             }
         }
     }
+    #[cfg(feature = "invariant-checks")]
+    crate::invariants::assert_union_find_canonical(&dsu, "shard-merge");
+
     // Number components by ascending minimum core id — exactly the order
     // the sequential seed scan creates clusters in.
     let mut comp_of_root = vec![u32::MAX; n];
@@ -390,6 +393,13 @@ impl UnionFind {
             x = self.parent[x as usize];
         }
         x
+    }
+
+    /// The raw parent array, for the `invariant-checks` canonical-form
+    /// checker (`parent[x] ≤ x` everywhere).
+    #[cfg(feature = "invariant-checks")]
+    pub(crate) fn parent_slice(&self) -> &[u32] {
+        &self.parent
     }
 
     pub(crate) fn union(&mut self, a: u32, b: u32) {

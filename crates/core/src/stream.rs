@@ -316,10 +316,42 @@ impl<const D: usize> IncrementalClustering<D> {
             self.stats.local_repairs += 1;
         }
         self.stats.core_flips += flipped_cores;
+        #[cfg(feature = "invariant-checks")]
+        self.debug_check_insert(first, &flips);
         InsertReport {
             new_segments: new_count,
             flipped_cores,
             rebuilt,
+        }
+    }
+
+    /// Post-insertion sanitizer pass (`invariant-checks` feature only):
+    /// union-find canonical form, SoA/AoS coherence, incrementally grown
+    /// index vs full scan on the dirty region, and — at power-of-two
+    /// trajectory counts, so the extra work stays O(log n) batch runs over
+    /// a stream — the full snapshot == batch spot check.
+    #[cfg(feature = "invariant-checks")]
+    fn debug_check_insert(&self, first: u32, flips: &[u32]) {
+        crate::invariants::assert_union_find_canonical(&self.dsu, "stream-insert");
+        crate::invariants::assert_soa_coherent(&self.db, "stream-insert");
+        let mut dirty: Vec<u32> = (first..self.db.len() as u32).collect();
+        dirty.extend_from_slice(flips);
+        crate::invariants::assert_index_consistent(
+            &self.db,
+            &self.index,
+            self.cluster.eps,
+            &dirty,
+            "stream-insert",
+        );
+        if self.stats.trajectories.is_power_of_two() {
+            let batch = crate::cluster::LineSegmentClustering::new(&self.db, self.cluster).run();
+            assert!(
+                self.snapshot() == batch,
+                "invariant-checks[stream-insert]: snapshot diverged from the \
+                 batch run at {} trajectories / {} segments",
+                self.stats.trajectories,
+                self.db.len()
+            );
         }
     }
 

@@ -5,6 +5,12 @@
 //! An entry is registered in every cell its box overlaps; queries visit the
 //! cells overlapped by the window and deduplicate with a generation stamp.
 
+// xtask:allow-file(hash-container): the cell map is lookup-only — queries
+// walk the integer lattice `CellIter` (a fixed odometer order) and call
+// `.get`, and per-cell id lists are in insertion order; the map itself is
+// never iterated, so its random iteration order cannot leak into results.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 
 use traclus_geom::Aabb;

@@ -257,7 +257,7 @@ fn str_sort<const D: usize>(items: &mut [(u32, Aabb<D>)], dim: usize, node_cap: 
     items.sort_by(|a, b| {
         let ca = a.1.center().coords[dim];
         let cb = b.1.center().coords[dim];
-        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        ca.total_cmp(&cb)
     });
     let n_nodes = items.len().div_ceil(node_cap);
     let remaining_dims = D - dim;
@@ -278,7 +278,7 @@ fn str_sort_nodes<const D: usize>(items: &mut [(Aabb<D>, Node<D>)], dim: usize, 
     items.sort_by(|a, b| {
         let ca = a.0.center().coords[dim];
         let cb = b.0.center().coords[dim];
-        ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+        ca.total_cmp(&cb)
     });
     let n_nodes = items.len().div_ceil(node_cap);
     let remaining_dims = D - dim;
@@ -316,15 +316,8 @@ fn insert_rec<const D: usize>(
                 .min_by(|&i, &j| {
                     let ei = children[i].0.enlargement(bbox);
                     let ej = children[j].0.enlargement(bbox);
-                    ei.partial_cmp(&ej)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| {
-                            children[i]
-                                .0
-                                .volume()
-                                .partial_cmp(&children[j].0.volume())
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
+                    ei.total_cmp(&ej)
+                        .then_with(|| children[i].0.volume().total_cmp(&children[j].0.volume()))
                 })
                 .expect("internal node has children");
             let split = insert_rec(&mut children[best].1, id, bbox, params);
@@ -456,6 +449,38 @@ mod tests {
         assert_eq!(tree.len(), 300);
         for &(x, y, s) in &[(0.0, 0.0, 100.0), (5.0, 5.0, 0.5), (31.0, 31.0, 4.0)] {
             let w = aabb2(x, y, x + s, y + s);
+            let mut a = tree.query(&w);
+            let mut b = linear.query(&w);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {w:?}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_handles_signed_zeros_and_tied_centers() {
+        // Regression for the partial_cmp → total_cmp switch in the STR
+        // sorts: centers that tie exactly (stacked boxes) and centers
+        // differing only in zero sign (-0.0 vs 0.0 — unequal under
+        // total_cmp, equal under partial_cmp) must still produce a tree
+        // whose queries match a brute-force filter.
+        let mut entries = Vec::new();
+        for i in 0..40u32 {
+            let x = if i % 2 == 0 { -0.0 } else { 0.0 };
+            entries.push((i, aabb2(x, i as f64, x + 1.0, i as f64 + 0.5)));
+        }
+        // A fully stacked pile: every center identical.
+        for i in 40..80u32 {
+            entries.push((i, aabb2(5.0, 5.0, 6.0, 6.0)));
+        }
+        let tree = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        tree.check_invariants();
+        let linear = LinearScanIndex::build(entries);
+        for w in [
+            aabb2(-1.0, -1.0, 2.0, 50.0),
+            aabb2(4.5, 4.5, 7.0, 7.0),
+            aabb2(0.0, 10.0, 0.5, 20.0),
+        ] {
             let mut a = tree.query(&w);
             let mut b = linear.query(&w);
             a.sort_unstable();

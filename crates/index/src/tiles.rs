@@ -47,7 +47,7 @@ impl<const D: usize> TileGrid<D> {
                 let axis = (0..D).max_by(|&a, &b| {
                     let ea = extent[a] / splits[a] as f64;
                     let eb = extent[b] / splits[b] as f64;
-                    ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+                    ea.total_cmp(&eb)
                 });
                 match axis {
                     Some(a) if extent[a] > 0.0 => splits[a] += 1,

@@ -1,0 +1,13 @@
+//! Fixture: the bench crate is exempt from wall-clock and the unwrap
+//! ratchet; only the header rule applies here, and it is satisfied —
+//! this file must produce zero findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Wall-clock and unwrap are the measurement harness's prerogative.
+pub fn measure() -> f64 {
+    let start = std::time::Instant::now();
+    let parsed: Result<f64, _> = "1.0".parse();
+    parsed.unwrap() + start.elapsed().as_secs_f64()
+}

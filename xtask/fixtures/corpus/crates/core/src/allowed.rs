@@ -1,0 +1,23 @@
+//! Fixture: suppression scoping — each allow below must silence exactly
+//! its own site; the final, unannotated site must still be reported.
+
+// xtask:allow-file(hash-container): fixture — exercises file-wide scope
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn lookup(map: &HashMap<u64, u32>, k: u64) -> Option<u32> {
+    map.get(&k).copied()
+}
+
+pub fn timed_above() -> Instant {
+    // xtask:allow(wall-clock): fixture — exercises line-above scope
+    Instant::now()
+}
+
+pub fn timed_inline() -> Instant {
+    Instant::now() // xtask:allow(wall-clock): fixture — same-line scope
+}
+
+pub fn unsuppressed() -> Instant {
+    Instant::now()
+}

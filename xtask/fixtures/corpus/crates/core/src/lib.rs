@@ -1,0 +1,42 @@
+//! Fixture: a determinism-critical library crate root seeded with one
+//! true positive per rule — and with look-alikes (comments, strings,
+//! `#[cfg(test)]` bodies) that the engine must NOT report. The
+//! integration test pins the exact findings.
+//!
+//! Deliberately missing `#![forbid(unsafe_code)]` and
+//! `#![warn(missing_docs)]`: two crate-header findings.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn cell_count(map: &HashMap<u64, u32>) -> usize {
+    map.len()
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn max_key(xs: &[f64]) -> f64 {
+    let decoy = "HashSet::new() and Instant::now() inside a string literal";
+    let _ = decoy;
+    *xs.iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+        .expect("non-empty input")
+}
+
+pub fn sort_keys(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| a.total_cmp(b));
+}
+
+/* block-comment decoy: partial_cmp(x).unwrap() and HashMap must not fire */
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unit_tests_are_exempt() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        let _ = std::time::Instant::now();
+    }
+}

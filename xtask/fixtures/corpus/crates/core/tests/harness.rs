@@ -1,0 +1,11 @@
+//! Fixture: integration-test files are allowlisted wholesale — nothing
+//! in this file may produce a finding.
+
+#[test]
+fn harness_may_unwrap_and_time() {
+    let v: Option<u32> = Some(1);
+    v.unwrap();
+    let _ = std::time::Instant::now();
+    let xs = [1.0f64, 2.0];
+    let _ = xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,14 @@
+//! Fixture: a non-root library file in a determinism-critical crate —
+//! HashSet, an unstable float sort, and a NaN-unsound comparator, all of
+//! which must be reported (no crate-header findings: not a crate root).
+
+use std::collections::HashSet;
+
+pub fn dedup_ids(ids: &[u64]) -> usize {
+    let set: HashSet<u64> = ids.iter().copied().collect();
+    set.len()
+}
+
+pub fn sort_dists(xs: &mut [f64]) {
+    xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,172 @@
+//! The ratcheting baseline for grandfathered violations.
+//!
+//! `xtask/lint-baseline.txt` pins, per `(rule, file)`, how many violations
+//! existed when the rule was introduced. The ratchet only turns one way:
+//!
+//! * count > pinned  → **error** (new violations; fix them or justify and
+//!   re-pin with `cargo xtask lint --update-baseline`)
+//! * count < pinned  → **notice** (progress! run `--update-baseline` so
+//!   the improvement can't regress)
+//! * file gone / clean → **notice** to drop the stale entry
+//!
+//! The file format is deliberately trivial — `rule<TAB>path<TAB>count`,
+//! sorted, one entry per line, `#` comments — so diffs in review show
+//! exactly which debt moved.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// Pinned counts keyed by `(rule, file)`; BTreeMap so rendering is sorted
+/// without a separate sort step.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parses the baseline format; returns line-numbered errors for malformed
+/// entries so a bad merge fails loudly instead of silently un-pinning.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(path), Some(count), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `rule<TAB>path<TAB>count`, got {line:?}",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|e| format!("baseline line {}: bad count {count:?}: {e}", idx + 1))?;
+        if baseline
+            .insert((rule.to_string(), path.to_string()), count)
+            .is_some()
+        {
+            return Err(format!(
+                "baseline line {}: duplicate entry for {rule} / {path}",
+                idx + 1
+            ));
+        }
+    }
+    Ok(baseline)
+}
+
+/// Renders a baseline in the canonical (sorted, commented) form.
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# Grandfathered lint violations, pinned per (rule, file).\n\
+         # Managed by `cargo xtask lint --update-baseline`; the ratchet only\n\
+         # tightens — new violations fail, decreases should be re-pinned here.\n\
+         # Format: rule<TAB>path<TAB>count\n",
+    );
+    for ((rule, path), count) in baseline {
+        out.push_str(&format!("{rule}\t{path}\t{count}\n"));
+    }
+    out
+}
+
+/// Aggregates findings of ratcheted rules into per-`(rule, file)` counts.
+pub fn counts_of(findings: &[Finding], ratcheted: &[&str]) -> Baseline {
+    let mut counts = Baseline::new();
+    for f in findings {
+        if ratcheted.contains(&f.rule) {
+            *counts
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Outcome of comparing current counts against the pinned baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RatchetReport {
+    /// `(rule, file, pinned, current)` where current > pinned — failures.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// `(rule, file, pinned, current)` where current < pinned — should be
+    /// re-pinned to lock in the improvement.
+    pub improvements: Vec<(String, String, usize, usize)>,
+}
+
+impl RatchetReport {
+    /// Whether the ratchet gate passes (notices are fine, regressions not).
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares current counts to the pinned baseline. Entries missing from the
+/// baseline count as pinned-at-zero; stale baseline entries (file now clean
+/// or deleted) surface as improvements down to zero.
+pub fn compare(pinned: &Baseline, current: &Baseline) -> RatchetReport {
+    let mut report = RatchetReport::default();
+    let mut keys: Vec<&(String, String)> = pinned.keys().chain(current.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let was = pinned.get(key).copied().unwrap_or(0);
+        let now = current.get(key).copied().unwrap_or(0);
+        let entry = (key.0.clone(), key.1.clone(), was, now);
+        match now.cmp(&was) {
+            std::cmp::Ordering::Greater => report.regressions.push(entry),
+            std::cmp::Ordering::Less => report.improvements.push(entry),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bl(entries: &[(&str, &str, usize)]) -> Baseline {
+        entries
+            .iter()
+            .map(|(r, p, c)| ((r.to_string(), p.to_string()), *c))
+            .collect()
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let baseline = bl(&[
+            ("unwrap-ratchet", "crates/core/src/lib.rs", 3),
+            ("unwrap-ratchet", "crates/geom/src/point.rs", 1),
+        ]);
+        assert_eq!(parse(&render(&baseline)).unwrap(), baseline);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("unwrap-ratchet\tonly-two-fields").is_err());
+        assert!(parse("rule\tpath\tnot-a-number").is_err());
+        assert!(parse("r\tp\t1\textra").is_err());
+        assert!(parse("r\tp\t1\nr\tp\t2").is_err(), "duplicates rejected");
+    }
+
+    #[test]
+    fn ratchet_flags_regressions_and_improvements() {
+        let pinned = bl(&[("unwrap-ratchet", "a.rs", 2), ("unwrap-ratchet", "b.rs", 1)]);
+        let current = bl(&[("unwrap-ratchet", "a.rs", 3), ("unwrap-ratchet", "c.rs", 1)]);
+        let report = compare(&pinned, &current);
+        assert!(!report.is_ok());
+        // a.rs grew 2→3, c.rs is new (0→1); b.rs went clean (1→0).
+        assert_eq!(report.regressions.len(), 2);
+        assert_eq!(
+            report.improvements,
+            vec![("unwrap-ratchet".into(), "b.rs".into(), 1, 0)]
+        );
+    }
+
+    #[test]
+    fn equal_counts_pass_silently() {
+        let pinned = bl(&[("unwrap-ratchet", "a.rs", 2)]);
+        let report = compare(&pinned, &pinned.clone());
+        assert!(report.is_ok());
+        assert!(report.improvements.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Perf-snapshot capture: parse the bench harness output into JSON.
+//!
+//! The vendored criterion stand-in prints one line per benchmark:
+//!
+//! ```text
+//! bench: cluster/grid/n1000            median      1.234ms/iter
+//! ```
+//!
+//! `bench-snapshot` runs `cargo bench -p traclus-bench --bench
+//! bench_cluster`, parses those lines, and writes `BENCH_cluster.json` — a
+//! checked-in snapshot so perf changes show up in review diffs next to the
+//! code that caused them. Medians move with hardware and load; the
+//! snapshot is a reviewed reference point, not a CI gate.
+
+/// One parsed benchmark result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark label, e.g. `cluster/grid/n1000`.
+    pub label: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Extracts every `bench: <label> median <duration>/iter` line.
+pub fn parse_bench_output(output: &str) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    for line in output.lines() {
+        let Some(rest) = line.trim().strip_prefix("bench:") else {
+            continue;
+        };
+        let Some(median_at) = rest.rfind(" median ") else {
+            continue;
+        };
+        let label = rest[..median_at].trim().to_string();
+        let duration = rest[median_at + " median ".len()..]
+            .trim()
+            .trim_end_matches("/iter")
+            .trim();
+        if let Some(median_ns) = parse_duration_ns(duration) {
+            results.push(BenchResult { label, median_ns });
+        }
+    }
+    results
+}
+
+/// Parses `Duration`'s `Debug` rendering (`123ns`, `4.567µs`, `1.2ms`,
+/// `3.4s`) into nanoseconds.
+pub fn parse_duration_ns(s: &str) -> Option<f64> {
+    // Longest suffixes first so `ns` is not taken as `s`.
+    for (suffix, scale) in [
+        ("ns", 1.0),
+        ("µs", 1e3),
+        ("us", 1e3),
+        ("ms", 1e6),
+        ("s", 1e9),
+    ] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            return num.trim().parse::<f64>().ok().map(|v| v * scale);
+        }
+    }
+    None
+}
+
+/// Renders the snapshot as pretty-printed JSON (no serde in this tree;
+/// labels are plain ASCII bench ids, escaped defensively anyway).
+pub fn render_json(results: &[BenchResult], captured_unix_secs: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"suite\": \"bench_cluster\",\n");
+    out.push_str(&format!(
+        "  \"captured_unix_secs\": {captured_unix_secs},\n"
+    ));
+    out.push_str("  \"unit\": \"ns_per_iter_median\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"median_ns\": {:.1} }}{comma}\n",
+            escape_json(&r.label),
+            r.median_ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_duration_unit() {
+        assert_eq!(parse_duration_ns("123ns"), Some(123.0));
+        assert_eq!(parse_duration_ns("4.5µs"), Some(4500.0));
+        assert_eq!(parse_duration_ns("4.5us"), Some(4500.0));
+        assert_eq!(parse_duration_ns("1.2ms"), Some(1.2e6));
+        assert_eq!(parse_duration_ns("3s"), Some(3e9));
+        assert_eq!(parse_duration_ns("garbage"), None);
+    }
+
+    #[test]
+    fn parses_bench_lines_and_skips_noise() {
+        let output = "\
+Compiling traclus-bench v0.1.0
+bench: cluster/linear/n500                       median      1.234ms/iter
+bench: cluster/parallel_hurricane32/t4           median    456.700µs/iter
+some unrelated line with median in it
+bench: malformed line without the keyword
+";
+        let results = parse_bench_output(output);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "cluster/linear/n500");
+        assert_eq!(results[0].median_ns, 1.234e6);
+        assert_eq!(results[1].label, "cluster/parallel_hurricane32/t4");
+        assert_eq!(results[1].median_ns, 456700.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let results = vec![BenchResult {
+            label: "a\"b".to_string(),
+            median_ns: 1.5,
+        }];
+        let json = render_json(&results, 42);
+        assert!(json.contains("\"a\\\"b\""));
+        assert!(json.contains("\"captured_unix_secs\": 42"));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,475 @@
+//! Source discovery and the token-level view of one Rust file.
+//!
+//! The rule engine never parses Rust properly; like rustc's `tidy` it works
+//! on a *masked* rendering of each file in which comment and string-literal
+//! bytes are blanked out (newlines preserved), so token searches cannot
+//! false-positive on prose, doc examples, or string contents. On top of the
+//! mask, `#[cfg(test)] mod … { … }` bodies are blanked too — in-file unit
+//! tests enjoy the same allowances as `tests/` files — and suppression
+//! comments (`// xtask:allow(rule): reason`) are collected from the raw
+//! text before masking.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where a file sits in the workspace, which decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under some crate's `src/` (not `src/bin/`).
+    LibSource,
+    /// A binary target root (`src/bin/*.rs`, `src/main.rs`).
+    Binary,
+    /// Tests, benches, examples — allowlisted for robustness rules.
+    TestOrHarness,
+}
+
+/// One scanned source file plus its masked token view.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the scan root, `/`-separated.
+    pub rel: String,
+    /// Crate directory name: `core`, `geom`, … for `crates/*`, `traclus`
+    /// for the facade (`src/`, `tests/`, `examples/`), `xtask` for the
+    /// tool crate.
+    pub crate_name: String,
+    /// Target classification.
+    pub kind: FileKind,
+    /// Whether this file is a crate root (`lib.rs`, `main.rs`, or a
+    /// `src/bin/*.rs` single-file binary).
+    pub is_crate_root: bool,
+    /// Whether it is specifically a *library* crate root (`lib.rs`).
+    pub is_lib_root: bool,
+    /// Raw text as read.
+    pub raw: String,
+    /// Token view: comments, strings, and `#[cfg(test)]` module bodies
+    /// blanked with spaces; byte-for-byte the same length/line layout as
+    /// `raw`.
+    pub masked: String,
+    /// Per line (1-based, index 0 unused): rules suppressed on that line by
+    /// an inline `// xtask:allow(rule): reason` (the comment suppresses its
+    /// own line and, when alone on a line, the following line).
+    pub line_allows: Vec<Vec<String>>,
+    /// Rules suppressed for the whole file via
+    /// `// xtask:allow-file(rule): reason`.
+    pub file_allows: Vec<String>,
+}
+
+impl SourceFile {
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.raw.as_bytes()[..offset]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// Whether `rule` is suppressed at `line` (inline or file-wide).
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        if self.file_allows.iter().any(|r| r == rule) {
+            return true;
+        }
+        self.line_allows
+            .get(line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Directories never scanned, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results"];
+
+/// Top-level subtrees excluded from the scan: vendored stand-ins mirror
+/// upstream crates (not project code), and the fixture corpus exists to
+/// *contain* violations.
+const SKIP_PREFIXES: &[&str] = &["vendor", "xtask/fixtures"];
+
+/// Recursively collects and classifies every `.rs` file under `root`.
+pub fn scan_root(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut rel_paths = Vec::new();
+    collect_rs(root, Path::new(""), &mut rel_paths)?;
+    // Deterministic order for reporting regardless of readdir order.
+    rel_paths.sort();
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        let path = root.join(&rel);
+        let raw = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files.push(classify(path, rel, raw));
+    }
+    Ok(files)
+}
+
+fn collect_rs(root: &Path, rel: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let dir = root.join(rel);
+    let entries =
+        fs::read_dir(&dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir {}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let child_rel = if rel.as_os_str().is_empty() {
+            PathBuf::from(&name)
+        } else {
+            rel.join(&name)
+        };
+        let rel_str = child_rel.to_string_lossy().replace('\\', "/");
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("file type of {rel_str}: {e}"))?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str())
+                || name.starts_with('.')
+                || SKIP_PREFIXES.contains(&rel_str.as_str())
+            {
+                continue;
+            }
+            collect_rs(root, &child_rel, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(rel_str);
+        }
+    }
+    Ok(())
+}
+
+fn classify(path: PathBuf, rel: String, raw: String) -> SourceFile {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let crate_name = match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_string(),
+        ["xtask", ..] => "xtask".to_string(),
+        // Facade crate: root src/, tests/, examples/.
+        _ => "traclus".to_string(),
+    };
+    let in_harness_dir = parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples"));
+    let in_bin_dir = rel.contains("/src/bin/") || rel.starts_with("src/bin/");
+    let file_name = parts.last().copied().unwrap_or_default();
+    let is_lib_root = !in_harness_dir && file_name == "lib.rs" && rel.ends_with("src/lib.rs");
+    let is_main_root = !in_harness_dir && file_name == "main.rs" && rel.ends_with("src/main.rs");
+    let is_crate_root = is_lib_root || is_main_root || (in_bin_dir && file_name.ends_with(".rs"));
+    let kind = if in_harness_dir {
+        FileKind::TestOrHarness
+    } else if in_bin_dir || is_main_root {
+        FileKind::Binary
+    } else {
+        FileKind::LibSource
+    };
+    let masked = blank_cfg_test_modules(&mask_comments_and_strings(&raw));
+    let (line_allows, file_allows) = collect_allows(&raw);
+    SourceFile {
+        path,
+        rel,
+        crate_name,
+        kind,
+        is_crate_root,
+        is_lib_root,
+        raw,
+        masked,
+        line_allows,
+        file_allows,
+    }
+}
+
+/// Replaces the bytes of comments, string literals, char literals, and raw
+/// strings with spaces (newlines kept), leaving everything else untouched.
+pub fn mask_comments_and_strings(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                out[i] = b' ';
+                out[i + 1] = b' ';
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let hash_start = i + 1;
+                let mut hashes = 0;
+                while bytes.get(hash_start + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                // Opening quote.
+                let mut j = hash_start + hashes + 1;
+                for slot in out.iter_mut().take(j).skip(i) {
+                    *slot = b' ';
+                }
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while j < bytes.len() {
+                    if bytes[j..].starts_with(&closer) {
+                        for slot in out.iter_mut().take(j + closer.len()).skip(j) {
+                            *slot = b' ';
+                        }
+                        j += closer.len();
+                        break;
+                    }
+                    if bytes[j] != b'\n' {
+                        out[j] = b' ';
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            b'"' => {
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' {
+                        out[i] = b' ';
+                        if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime ('a, 'static) has no
+                // closing quote within a couple of bytes unless it is
+                // escaped or a single char. Heuristic: treat as char
+                // literal when `'X'` or `'\…'` matches.
+                if bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\\') {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    out[i + 2] = b' ';
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'\\') {
+                    out[i] = b' ';
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                } else {
+                    // Lifetime: leave as-is.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The mask only ever writes ASCII spaces over existing bytes, so the
+    // result is valid UTF-8 as long as multi-byte sequences are blanked
+    // wholly — they are, because every branch blanks contiguous runs.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"…"` or `r#…#"…"#…#`; reject identifiers ending in r (peek back).
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Blanks the brace-delimited body of every `#[cfg(test)] mod … { … }` in
+/// an already comment/string-masked source, so in-file unit tests are
+/// exempt from library-scoped rules. Brace counting is reliable because
+/// strings and comments are already spaces.
+pub fn blank_cfg_test_modules(masked: &str) -> String {
+    let mut out = masked.as_bytes().to_vec();
+    let mut search_from = 0;
+    while let Some(pos) = find_from(masked, "#[cfg(test)]", search_from) {
+        search_from = pos + 1;
+        let after = pos + "#[cfg(test)]".len();
+        // Skip whitespace and further attributes, then expect `mod`.
+        let mut j = after;
+        let bytes = masked.as_bytes();
+        loop {
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') {
+                // Another attribute: skip to its closing bracket.
+                while j < bytes.len() && bytes[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if !masked[j..].starts_with("mod") {
+            continue;
+        }
+        let Some(open_rel) = masked[j..].find('{') else {
+            continue;
+        };
+        let open = j + open_rel;
+        let mut depth = 0usize;
+        let mut k = open;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        for slot in out.iter_mut().take(k).skip(open + 1) {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8")
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| p + from)
+}
+
+/// Collects `xtask:allow(rule)` / `xtask:allow-file(rule)` suppressions
+/// from comments. An inline allow covers its own line and — when the
+/// comment is the only thing on its line — the following line.
+fn collect_allows(raw: &str) -> (Vec<Vec<String>>, Vec<String>) {
+    let lines: Vec<&str> = raw.lines().collect();
+    let mut line_allows: Vec<Vec<String>> = vec![Vec::new(); lines.len() + 2];
+    let mut file_allows = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(comment_start) = line.find("//") else {
+            continue;
+        };
+        let comment = &line[comment_start..];
+        for (marker, file_wide) in [("xtask:allow-file(", true), ("xtask:allow(", false)] {
+            let mut rest = comment;
+            while let Some(p) = rest.find(marker) {
+                let args = &rest[p + marker.len()..];
+                if let Some(close) = args.find(')') {
+                    let rule = args[..close].trim().to_string();
+                    if file_wide {
+                        file_allows.push(rule);
+                    } else {
+                        line_allows[lineno].push(rule.clone());
+                        let standalone = line[..comment_start].trim().is_empty();
+                        if standalone && lineno + 1 < line_allows.len() {
+                            line_allows[lineno + 1].push(rule);
+                        }
+                    }
+                }
+                rest = &rest[p + marker.len()..];
+                // `allow-file(` also contains `allow(`? No: scanning for
+                // `xtask:allow(` after having consumed `xtask:allow-file(`
+                // cannot re-match the same occurrence because the marker
+                // includes the opening parenthesis.
+            }
+        }
+    }
+    (line_allows, file_allows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let a = \"HashMap\"; // HashMap in a comment\nlet b = 1;\n";
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains("let a ="));
+        assert!(m.contains("let b = 1;"));
+        assert_eq!(m.len(), src.len(), "mask preserves layout");
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"unwrap() \"inner\" \"#; let c = '\"'; let l: &'static str = x;";
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("'static"), "lifetimes survive");
+    }
+
+    #[test]
+    fn masking_handles_nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still comment */ let x = 1;";
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_blanked() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b.unwrap(); }\n}\nfn tail() {}\n";
+        let m = blank_cfg_test_modules(&mask_comments_and_strings(src));
+        assert!(m.contains("a.unwrap()"), "library code survives");
+        assert!(!m.contains("b.unwrap()"), "test body blanked");
+        assert!(m.contains("fn tail"), "code after the module survives");
+    }
+
+    #[test]
+    fn inline_allow_covers_own_and_next_line() {
+        let src = "// xtask:allow(wall-clock): timing capture\nlet t = now();\nlet u = now(); // xtask:allow(wall-clock): same line\nlet v = now();\n";
+        let (lines, files) = collect_allows(src);
+        assert!(files.is_empty());
+        assert!(lines[1].iter().any(|r| r == "wall-clock"));
+        assert!(lines[2].iter().any(|r| r == "wall-clock"), "next line");
+        assert!(lines[3].iter().any(|r| r == "wall-clock"), "same line");
+        assert!(lines[4].is_empty(), "no blanket suppression");
+    }
+
+    #[test]
+    fn file_allow_is_collected() {
+        let src =
+            "// xtask:allow-file(hash-container): lookup-only\nuse std::collections::HashMap;\n";
+        let (_, files) = collect_allows(src);
+        assert_eq!(files, vec!["hash-container".to_string()]);
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end tests for the lint engine: the fixture corpus under
+//! `xtask/fixtures/corpus/` seeds one true positive per rule plus
+//! look-alikes and suppressions the engine must respect, and the real
+//! workspace must gate green against the checked-in baseline.
+
+use std::path::{Path, PathBuf};
+
+use xtask::baseline::{self, Baseline};
+use xtask::{run_lint, LintOutcome};
+
+fn corpus_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/corpus")
+}
+
+fn lint_corpus(pinned: &Baseline) -> LintOutcome {
+    run_lint(&corpus_root(), pinned).expect("corpus scan succeeds")
+}
+
+fn count(outcome: &LintOutcome, rule: &str, file: &str) -> usize {
+    outcome
+        .hard
+        .iter()
+        .filter(|f| f.rule == rule && f.file == file)
+        .count()
+}
+
+#[test]
+fn corpus_true_positives_are_all_found() {
+    let outcome = lint_corpus(&Baseline::new());
+    let lib = "crates/core/src/lib.rs";
+    let point = "crates/geom/src/point.rs";
+
+    // Crate root missing both header attributes.
+    assert_eq!(count(&outcome, "crate-header", lib), 2);
+    // `use` line + signature in lib.rs; `use` + collect-site in point.rs.
+    assert_eq!(count(&outcome, "hash-container", lib), 2);
+    assert_eq!(count(&outcome, "hash-container", point), 2);
+    // One live Instant::now in lib.rs (the cfg(test) one is blanked).
+    assert_eq!(count(&outcome, "wall-clock", lib), 1);
+    // partial_cmp().unwrap() comparators.
+    assert_eq!(count(&outcome, "float-ord", lib), 1);
+    assert_eq!(count(&outcome, "float-ord", point), 1);
+    // sort_unstable_by with a float comparator.
+    assert_eq!(count(&outcome, "float-sort", lib), 1);
+    assert_eq!(count(&outcome, "float-sort", point), 1);
+
+    assert!(!outcome.is_ok(), "seeded corpus must fail the gate");
+}
+
+#[test]
+fn corpus_decoys_and_exempt_files_stay_silent() {
+    let outcome = lint_corpus(&Baseline::new());
+    // Strings, comments, and cfg(test) bodies in lib.rs are already covered
+    // by the exact counts above; whole-file exemptions checked here.
+    for file in ["crates/core/tests/harness.rs", "crates/bench/src/lib.rs"] {
+        assert!(
+            !outcome.hard.iter().any(|f| f.file == file),
+            "no hard findings expected in {file}"
+        );
+        assert!(
+            !outcome.ratchet_counts.keys().any(|(_, f)| f == file),
+            "no ratchet counts expected in {file}"
+        );
+    }
+}
+
+#[test]
+fn corpus_suppressions_cover_exactly_their_sites() {
+    let outcome = lint_corpus(&Baseline::new());
+    let allowed = "crates/core/src/allowed.rs";
+    // File-wide hash-container allow silences both HashMap mentions.
+    assert_eq!(count(&outcome, "hash-container", allowed), 0);
+    // Line-above and same-line allows each silence one Instant::now; the
+    // unannotated third site must still be reported.
+    let wall: Vec<usize> = outcome
+        .hard
+        .iter()
+        .filter(|f| f.rule == "wall-clock" && f.file == allowed)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(wall.len(), 1, "exactly the unsuppressed site: {wall:?}");
+    let raw = std::fs::read_to_string(corpus_root().join(allowed)).unwrap();
+    let unsuppressed_line = raw
+        .lines()
+        .position(|l| l.contains("fn unsuppressed"))
+        .unwrap()
+        + 2; // the Instant::now on the line after the signature
+    assert_eq!(wall[0], unsuppressed_line);
+}
+
+#[test]
+fn ratchet_pins_fail_and_release_as_counts_move() {
+    let fresh = lint_corpus(&Baseline::new());
+    // Against an empty baseline every unwrap/expect is a regression.
+    assert_eq!(fresh.ratchet.regressions.len(), 2);
+    assert_eq!(
+        fresh
+            .ratchet_counts
+            .get(&("unwrap-ratchet".into(), "crates/core/src/lib.rs".into())),
+        Some(&2),
+        "partial_cmp().unwrap() + .expect() in max_key"
+    );
+    assert_eq!(
+        fresh
+            .ratchet_counts
+            .get(&("unwrap-ratchet".into(), "crates/geom/src/point.rs".into())),
+        Some(&1)
+    );
+
+    // Pinning the exact counts releases the ratchet (hard findings remain).
+    let pinned = fresh.ratchet_counts.clone();
+    let repinned = lint_corpus(&pinned);
+    assert!(repinned.ratchet.is_ok());
+    assert!(repinned.ratchet.improvements.is_empty());
+    assert!(!repinned.is_ok(), "hard findings still gate");
+
+    // A looser pin surfaces the improvement for re-tightening.
+    let mut loose = pinned.clone();
+    loose.insert(
+        ("unwrap-ratchet".into(), "crates/geom/src/point.rs".into()),
+        5,
+    );
+    let improved = lint_corpus(&loose);
+    assert!(improved.ratchet.is_ok());
+    assert_eq!(
+        improved.ratchet.improvements,
+        vec![(
+            "unwrap-ratchet".into(),
+            "crates/geom/src/point.rs".into(),
+            5,
+            1
+        )]
+    );
+}
+
+#[test]
+fn baseline_round_trips_through_the_file_format() {
+    let fresh = lint_corpus(&Baseline::new());
+    let rendered = baseline::render(&fresh.ratchet_counts);
+    assert_eq!(baseline::parse(&rendered).unwrap(), fresh.ratchet_counts);
+}
+
+#[test]
+fn real_workspace_gates_green_against_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    let pinned_text = std::fs::read_to_string(root.join("xtask/lint-baseline.txt"))
+        .expect("checked-in baseline exists");
+    let pinned = baseline::parse(&pinned_text).expect("checked-in baseline parses");
+    let outcome = run_lint(&root, &pinned).expect("workspace scan succeeds");
+    assert!(
+        outcome.hard.is_empty(),
+        "workspace hard findings:\n{}",
+        outcome
+            .hard
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.ratchet.is_ok(),
+        "ratchet regressions: {:?}",
+        outcome.ratchet.regressions
+    );
+}
