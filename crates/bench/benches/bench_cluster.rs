@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use traclus_bench::experiments::scaling::scaled_database;
 use traclus_core::{
     ClusterConfig, IncrementalClustering, IndexKind, LineSegmentClustering, PartitionConfig,
-    SegmentDatabase, StreamConfig, Traclus, TraclusConfig,
+    SegmentDatabase, SnapshotCell, StreamConfig, Traclus, TraclusConfig,
 };
 use traclus_data::{HurricaneConfig, HurricaneGenerator};
 use traclus_geom::{SegmentDistance, Trajectory};
@@ -159,10 +159,61 @@ fn bench_stream_insert(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serving-layer snapshot costs: what the writer pays per batch to turn
+/// the engine's mutable state into an immutable `ClusterSnapshot`
+/// (clustering capture + representative materialisation + `Arc` swap),
+/// and the per-query `load()` on the reader side that it buys — the
+/// latter is the number every server request pays, the former bounds the
+/// publication rate.
+fn bench_snapshot_publish(c: &mut Criterion) {
+    let config = TraclusConfig {
+        eps: 5.0,
+        min_lns: 5,
+        ..TraclusConfig::default()
+    };
+
+    let mut group = c.benchmark_group("cluster/snapshot_publish_hurricane");
+    group.sample_size(10);
+    for tracks in [32usize, 64, 128] {
+        let dataset = HurricaneGenerator::new(HurricaneConfig {
+            tracks,
+            seed: 2007,
+            ..HurricaneConfig::default()
+        })
+        .generate();
+        let mut engine: IncrementalClustering<2> = Traclus::new(config).stream();
+        for tr in &dataset {
+            engine.insert(tr);
+        }
+        let cell: SnapshotCell<2> = SnapshotCell::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(tracks), &engine, |b, engine| {
+            b.iter(|| cell.publish_from(engine))
+        });
+    }
+    group.finish();
+
+    let dataset = HurricaneGenerator::new(HurricaneConfig {
+        tracks: 64,
+        seed: 2007,
+        ..HurricaneConfig::default()
+    })
+    .generate();
+    let mut engine: IncrementalClustering<2> = Traclus::new(config).stream();
+    for tr in &dataset {
+        engine.insert(tr);
+    }
+    let cell: SnapshotCell<2> = SnapshotCell::new(config);
+    cell.publish_from(&engine);
+    let mut group = c.benchmark_group("cluster/snapshot_load");
+    group.bench_function("64", |b| b.iter(|| cell.load()));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cluster,
     bench_cluster_parallel,
-    bench_stream_insert
+    bench_stream_insert,
+    bench_snapshot_publish
 );
 criterion_main!(benches);

@@ -144,34 +144,10 @@ pub fn parallel_entropy_curve(
     }
 }
 
-/// Runs independent jobs over a thread pool, preserving input order.
-pub fn parallel_map<T: Sync, R: Send>(inputs: Vec<T>, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(inputs.len().max(1));
-    let results: Vec<Mutex<Option<R>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= inputs.len() {
-                    break;
-                }
-                *results[i].lock().expect("workers do not panic") = Some(f(&inputs[i]));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("workers do not panic")
-                .expect("all jobs completed")
-        })
-        .collect()
-}
+// Re-exported for the experiment binaries; the implementation moved into
+// `traclus_eval` so the evaluation harness itself can use it (bench
+// depends on eval, so the dependency can only point that way).
+pub use traclus_eval::parallel_map;
 
 /// MDL coding precision for the hurricane stand-in: 0.05° ≈ the accuracy
 /// of best-track centre fixes on a lat/lon grid.

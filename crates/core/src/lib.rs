@@ -48,6 +48,7 @@ pub mod representative;
 pub mod segment_db;
 pub mod shard;
 pub mod simplify;
+pub mod snapshot;
 pub mod stream;
 
 use traclus_geom::{SegmentDistance, Trajectory};
@@ -71,6 +72,7 @@ pub use representative::{
 pub use segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
 pub use shard::ShardPlan;
 pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
+pub use snapshot::{ClusterSnapshot, RegionSummary, SnapshotCell};
 pub use stream::{IncrementalClustering, InsertReport, StreamConfig, StreamStats};
 
 /// End-to-end configuration of the TRACLUS pipeline (Figure 4).
@@ -234,24 +236,36 @@ pub(crate) fn attach_representatives<const D: usize>(
     database: SegmentDatabase<D>,
     clustering: Clustering,
 ) -> TraclusOutcome<D> {
-    let mut rep_config = RepresentativeConfig::new(
-        config.min_lns,
-        config.smoothing.unwrap_or(config.eps * 0.25),
-    );
-    rep_config.weighted = config.weighted;
-    let clusters = clustering
-        .clusters
-        .iter()
-        .map(|c| TraclusCluster {
-            cluster: c.clone(),
-            representative: representative_trajectory(&database, c, &rep_config),
-        })
-        .collect();
+    let clusters = representatives_for(config, &database, &clustering);
     TraclusOutcome {
         database,
         clustering,
         clusters,
     }
+}
+
+/// Representative trajectories for a finished clustering, borrowing the
+/// database — the reusable core of the batch pipeline's final stage, also
+/// used by [`snapshot::ClusterSnapshot`] to materialise read-only views
+/// without consuming the streaming engine's state.
+pub fn representatives_for<const D: usize>(
+    config: &TraclusConfig,
+    database: &SegmentDatabase<D>,
+    clustering: &Clustering,
+) -> Vec<TraclusCluster<D>> {
+    let mut rep_config = RepresentativeConfig::new(
+        config.min_lns,
+        config.smoothing.unwrap_or(config.eps * 0.25),
+    );
+    rep_config.weighted = config.weighted;
+    clustering
+        .clusters
+        .iter()
+        .map(|c| TraclusCluster {
+            cluster: c.clone(),
+            representative: representative_trajectory(database, c, &rep_config),
+        })
+        .collect()
 }
 
 #[cfg(test)]

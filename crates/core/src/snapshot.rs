@@ -1,0 +1,399 @@
+//! Snapshot-isolated reads over the streaming engine.
+//!
+//! [`IncrementalClustering`] is a single-writer structure: `insert` mutates
+//! the database, index, and cluster state in place. Serving queries from
+//! it directly would force every reader to lock out the writer (and each
+//! other) for the full duration of a query. This module separates the two
+//! roles:
+//!
+//! * [`ClusterSnapshot`] — an immutable, self-contained view of one
+//!   engine state: the clustering, the representative trajectories, and
+//!   the stream counters. Once captured it never changes, so any number
+//!   of readers can query it concurrently without synchronisation.
+//! * [`SnapshotCell`] — the publication point: a mutex-guarded
+//!   `Arc<ClusterSnapshot>` the writer swaps after ingesting a batch.
+//!   Readers take the lock only long enough to clone the `Arc` (two
+//!   atomic operations); queries then run entirely on their pinned
+//!   snapshot while the writer races ahead.
+//!
+//! **Equivalence guarantee.** A snapshot captured after the engine has
+//! ingested trajectories `t₀ … tₖ` is exactly the batch pipeline's output
+//! on that prefix: [`ClusterSnapshot::clustering`] equals
+//! [`Traclus::run`]'s clustering label for label (the streaming engine's
+//! invariant), and the representatives are produced by the same
+//! [`representatives_for`] tail the batch path uses. Readers never see a
+//! half-applied insert — they see *some* prefix, bit-identical to what a
+//! batch run over that prefix would produce.
+//!
+//! ```
+//! use traclus_core::{ClusterSnapshot, IncrementalClustering, SnapshotCell, TraclusConfig};
+//! use traclus_geom::{Point2, Trajectory, TrajectoryId};
+//!
+//! let config = TraclusConfig { eps: 5.0, min_lns: 3, ..TraclusConfig::default() };
+//! let cell = SnapshotCell::<2>::new(config);
+//! let mut engine = IncrementalClustering::<2>::new(config);
+//! for i in 0..8u32 {
+//!     let t = Trajectory::new(
+//!         TrajectoryId(i),
+//!         (0..25).map(|k| Point2::xy(k as f64 * 4.0, i as f64 * 0.3)).collect(),
+//!     );
+//!     engine.insert(&t);
+//!     cell.publish_from(&engine);
+//! }
+//! let snap = cell.load(); // a reader's pinned view
+//! assert_eq!(snap.trajectories(), 8);
+//! assert_eq!(snap.clusters().len(), 1, "one shared corridor");
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use traclus_geom::{Aabb, Point, Trajectory, TrajectoryId};
+
+use crate::cluster::{ClusterId, Clustering};
+use crate::stream::{IncrementalClustering, StreamStats};
+use crate::{representatives_for, TraclusCluster, TraclusConfig};
+
+#[cfg(doc)]
+use crate::Traclus;
+
+/// An immutable view of one streaming-engine state: clustering,
+/// representatives, and counters, frozen at a publication epoch.
+///
+/// Cheap to share (`Arc`-cloned by [`SnapshotCell::load`]) and safe to
+/// query from any number of threads. Queries are answered from the
+/// cluster structure and the representative trajectories — the snapshot
+/// deliberately does **not** clone the segment database, so it stays
+/// small no matter how much has been ingested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSnapshot<const D: usize> {
+    epoch: u64,
+    trajectories: usize,
+    segments: usize,
+    clustering: Clustering,
+    clusters: Vec<TraclusCluster<D>>,
+    stats: StreamStats,
+    config: TraclusConfig,
+}
+
+impl<const D: usize> ClusterSnapshot<D> {
+    /// The snapshot of an engine that has ingested nothing (epoch 0).
+    pub fn empty(config: TraclusConfig) -> Self {
+        Self {
+            epoch: 0,
+            trajectories: 0,
+            segments: 0,
+            clustering: Clustering {
+                labels: Vec::new(),
+                clusters: Vec::new(),
+                filtered_out: 0,
+            },
+            clusters: Vec::new(),
+            stats: StreamStats::default(),
+            config,
+        }
+    }
+
+    /// Captures the engine's current state under the given epoch.
+    ///
+    /// This is the expensive step (it clones the clustering and runs the
+    /// representative sweep); do it **outside** any lock shared with
+    /// readers — [`SnapshotCell::publish_from`] does.
+    pub fn capture(engine: &IncrementalClustering<D>, epoch: u64) -> Self {
+        let clustering = engine.snapshot();
+        let clusters = representatives_for(engine.config(), engine.database(), &clustering);
+        Self {
+            epoch,
+            trajectories: engine.stats().trajectories,
+            segments: engine.len(),
+            clustering,
+            clusters,
+            stats: engine.stats(),
+            config: *engine.config(),
+        }
+    }
+
+    /// The publication epoch (0 for [`Self::empty`], then strictly
+    /// increasing per [`SnapshotCell::publish_from`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Trajectories ingested when this snapshot was captured — the prefix
+    /// length the equivalence guarantee refers to.
+    pub fn trajectories(&self) -> usize {
+        self.trajectories
+    }
+
+    /// Segments in the engine's database at capture time.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// The raw clustering (labels, clusters, filter diagnostics) — equal
+    /// to the batch pipeline's clustering on the same prefix.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Clusters with their representative trajectories.
+    pub fn clusters(&self) -> &[TraclusCluster<D>] {
+        &self.clusters
+    }
+
+    /// The engine's cumulative counters at capture time.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The configuration the engine runs under.
+    pub fn config(&self) -> &TraclusConfig {
+        &self.config
+    }
+
+    /// The representative trajectories alone, in cluster order.
+    pub fn representatives(&self) -> impl Iterator<Item = &Trajectory<D>> {
+        self.clusters.iter().map(|c| &c.representative)
+    }
+
+    /// Clusters containing the given trajectory, in cluster order.
+    pub fn membership(&self, trajectory: TrajectoryId) -> Vec<ClusterId> {
+        self.clusters
+            .iter()
+            .filter(|c| c.cluster.trajectories.contains(&trajectory))
+            .map(|c| c.cluster.id)
+            .collect()
+    }
+
+    /// The cluster whose representative trajectory passes closest to the
+    /// probe point, with that (Euclidean point-to-polyline) distance.
+    /// `None` when there are no clusters. Ties resolve to the lowest
+    /// cluster id, so the answer is deterministic.
+    pub fn nearest_cluster(&self, probe: &Point<D>) -> Option<(ClusterId, f64)> {
+        let mut best: Option<(ClusterId, f64)> = None;
+        for c in &self.clusters {
+            let Some(d) = distance_to_polyline(&c.representative, probe) else {
+                continue;
+            };
+            let closer = match best {
+                Some((_, bd)) => d < bd,
+                None => true,
+            };
+            if closer {
+                best = Some((c.cluster.id, d));
+            }
+        }
+        best
+    }
+
+    /// Clusters whose representative trajectory intersects the axis-
+    /// aligned region (edge-bounding-box test), plus how many distinct
+    /// trajectories they cover — a cheap "what moves through here"
+    /// aggregate.
+    pub fn region_summary(&self, region: &Aabb<D>) -> RegionSummary {
+        let mut clusters = Vec::new();
+        let mut members: Vec<TrajectoryId> = Vec::new();
+        for c in &self.clusters {
+            let hits = c
+                .representative
+                .edges()
+                .any(|e| Aabb::from_segment(&e).intersects(region));
+            if hits {
+                clusters.push(c.cluster.id);
+                members.extend_from_slice(&c.cluster.trajectories);
+            }
+        }
+        members.sort_unstable();
+        members.dedup();
+        RegionSummary {
+            clusters,
+            distinct_trajectories: members.len(),
+        }
+    }
+}
+
+/// Euclidean distance from a point to a polyline (`None` for an empty
+/// trajectory; a single-point trajectory measures point-to-point).
+fn distance_to_polyline<const D: usize>(polyline: &Trajectory<D>, p: &Point<D>) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for edge in polyline.edges() {
+        let d = edge.segment_distance(p);
+        best = Some(match best {
+            Some(b) if b <= d => b,
+            _ => d,
+        });
+    }
+    if best.is_none() {
+        best = polyline.points.first().map(|q| q.distance(p));
+    }
+    best
+}
+
+/// What [`ClusterSnapshot::region_summary`] reports for a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Clusters whose representative intersects the region, in cluster
+    /// order.
+    pub clusters: Vec<ClusterId>,
+    /// Distinct trajectories contributing to those clusters.
+    pub distinct_trajectories: usize,
+}
+
+/// The publication point between one writer and any number of readers.
+///
+/// Std-only epoch/arc-swap: the current snapshot lives behind a
+/// `Mutex<Arc<…>>`. [`Self::load`] holds the lock just long enough to
+/// clone the `Arc`; [`Self::publish_from`] materialises the next snapshot
+/// **outside** the lock (snapshot capture is the expensive part) and then
+/// swaps the pointer. Readers therefore never wait on snapshot
+/// construction, and the writer never waits on queries.
+///
+/// The cell assumes a single writer (the streaming engine's owner); with
+/// multiple concurrent writers epochs would still be monotonic per
+/// [`Self::publish_from`] call ordering, but "latest published" would be
+/// racy — matching the engine itself, which is `&mut` on ingest anyway.
+#[derive(Debug)]
+pub struct SnapshotCell<const D: usize> {
+    current: Mutex<Arc<ClusterSnapshot<D>>>,
+}
+
+impl<const D: usize> SnapshotCell<D> {
+    /// A cell holding the empty snapshot (epoch 0) for this configuration.
+    pub fn new(config: TraclusConfig) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(ClusterSnapshot::empty(config))),
+        }
+    }
+
+    /// The latest published snapshot. O(1): one brief lock and an `Arc`
+    /// clone — queries run on the returned snapshot with no further
+    /// synchronisation.
+    pub fn load(&self) -> Arc<ClusterSnapshot<D>> {
+        Arc::clone(&lock_unpoisoned(&self.current))
+    }
+
+    /// Captures the engine's state as the next epoch and publishes it,
+    /// returning the new snapshot. Capture runs outside the lock.
+    pub fn publish_from(&self, engine: &IncrementalClustering<D>) -> Arc<ClusterSnapshot<D>> {
+        let epoch = self.load().epoch + 1;
+        let snapshot = Arc::new(ClusterSnapshot::capture(engine, epoch));
+        *lock_unpoisoned(&self.current) = Arc::clone(&snapshot);
+        snapshot
+    }
+
+    /// Publishes an already-captured snapshot verbatim (e.g. one built on
+    /// a worker thread). The caller owns epoch discipline here.
+    pub fn publish(&self, snapshot: ClusterSnapshot<D>) -> Arc<ClusterSnapshot<D>> {
+        let snapshot = Arc::new(snapshot);
+        *lock_unpoisoned(&self.current) = Arc::clone(&snapshot);
+        snapshot
+    }
+}
+
+/// Locks a mutex, continuing through poisoning: the guarded value is a
+/// bare `Arc` pointer swap, so there is no torn state a panicking thread
+/// could have left behind.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Traclus;
+    use traclus_geom::Point2;
+
+    fn corridor(i: u32, n: usize) -> Trajectory<2> {
+        Trajectory::new(
+            TrajectoryId(i),
+            (0..n)
+                .map(|k| Point2::xy(k as f64 * 4.0, i as f64 * 0.3))
+                .collect(),
+        )
+    }
+
+    fn config() -> TraclusConfig {
+        TraclusConfig {
+            eps: 5.0,
+            min_lns: 3,
+            ..TraclusConfig::default()
+        }
+    }
+
+    #[test]
+    fn capture_matches_batch_prefix() {
+        let config = config();
+        let trajectories: Vec<_> = (0..8).map(|i| corridor(i, 25)).collect();
+        let mut engine = IncrementalClustering::<2>::new(config);
+        for (k, t) in trajectories.iter().enumerate() {
+            engine.insert(t);
+            let snap = ClusterSnapshot::capture(&engine, k as u64 + 1);
+            let batch = Traclus::new(config).run(&trajectories[..=k]);
+            assert_eq!(snap.clustering(), &batch.clustering, "prefix {}", k + 1);
+            assert_eq!(snap.clusters(), &batch.clusters[..], "prefix {}", k + 1);
+            assert_eq!(snap.trajectories(), k + 1);
+        }
+    }
+
+    #[test]
+    fn cell_publishes_monotonic_epochs() {
+        let config = config();
+        let cell = SnapshotCell::<2>::new(config);
+        assert_eq!(cell.load().epoch(), 0);
+        let mut engine = IncrementalClustering::<2>::new(config);
+        for i in 0..3 {
+            engine.insert(&corridor(i, 25));
+            let published = cell.publish_from(&engine);
+            assert_eq!(published.epoch(), u64::from(i) + 1);
+            assert_eq!(cell.load().epoch(), u64::from(i) + 1);
+        }
+        // An old reader's Arc stays valid after newer publications.
+        let pinned = cell.load();
+        engine.insert(&corridor(3, 25));
+        cell.publish_from(&engine);
+        assert_eq!(pinned.epoch(), 3);
+        assert_eq!(cell.load().epoch(), 4);
+    }
+
+    #[test]
+    fn queries_answer_from_the_snapshot() {
+        let config = config();
+        let mut engine = IncrementalClustering::<2>::new(config);
+        for i in 0..8 {
+            engine.insert(&corridor(i, 25));
+        }
+        let snap = ClusterSnapshot::capture(&engine, 1);
+        assert_eq!(snap.clusters().len(), 1);
+        let cluster_id = snap.clusters()[0].cluster.id;
+
+        // Every corridor trajectory is a member; an unknown id is not.
+        assert_eq!(snap.membership(TrajectoryId(0)), vec![cluster_id]);
+        assert_eq!(snap.membership(TrajectoryId(99)), Vec::new());
+
+        // A probe on the corridor is near the representative; far away is far.
+        let (near_id, near_d) = snap.nearest_cluster(&Point2::xy(48.0, 1.0)).unwrap();
+        assert_eq!(near_id, cluster_id);
+        assert!(near_d < 3.0, "probe on the corridor: {near_d}");
+        let (_, far_d) = snap.nearest_cluster(&Point2::xy(48.0, 500.0)).unwrap();
+        assert!(far_d > 400.0, "probe far away: {far_d}");
+
+        // The corridor crosses a region around x ∈ [40, 60].
+        let hit = snap.region_summary(&Aabb::new([40.0, -5.0], [60.0, 5.0]));
+        assert_eq!(hit.clusters, vec![cluster_id]);
+        assert_eq!(hit.distinct_trajectories, 8);
+        let miss = snap.region_summary(&Aabb::new([40.0, 400.0], [60.0, 500.0]));
+        assert_eq!(miss.clusters, Vec::new());
+        assert_eq!(miss.distinct_trajectories, 0);
+    }
+
+    #[test]
+    fn empty_snapshot_queries_are_defined() {
+        let snap = ClusterSnapshot::<2>::empty(config());
+        assert_eq!(snap.nearest_cluster(&Point2::xy(0.0, 0.0)), None);
+        assert_eq!(snap.membership(TrajectoryId(0)), Vec::new());
+        let summary = snap.region_summary(&Aabb::new([0.0, 0.0], [1.0, 1.0]));
+        assert_eq!(summary.distinct_trajectories, 0);
+    }
+}

@@ -30,6 +30,7 @@ use traclus_core::{
 use traclus_geom::{Point, SegmentDistance, Trajectory};
 
 use crate::metrics::compute_metrics_sampled;
+use crate::parallel::parallel_map;
 use crate::report::{EvalEntry, EvalReport};
 use crate::result::ClusteringResult;
 
@@ -245,23 +246,27 @@ pub fn evaluate_dataset(
         ));
     }
 
-    let entries = entries
-        .into_iter()
-        .map(|(result, expected_len)| {
-            assert_eq!(
-                result.labels.len(),
-                expected_len,
-                "{}: labels must cover the shared database",
-                result.algorithm
-            );
-            EvalEntry {
-                algorithm: result.algorithm.clone(),
-                params: result.params.clone(),
-                metrics: compute_metrics_sampled(&db, &result, config.silhouette_cap, config.seed),
-                runtime_secs: result.runtime_secs,
-            }
-        })
-        .collect();
+    // Score entries in parallel: silhouette sampling dominates harness
+    // time once the grid grows, and each entry's metrics depend only on
+    // the shared (read-only) database. Only scoring runs here — every
+    // algorithm above executed inside its own timed span already, so
+    // parallelising this pass cannot distort the runtime column. The
+    // estimators are seeded per entry, and `parallel_map` preserves input
+    // order, so the report is byte-identical to the sequential harness.
+    let entries = parallel_map(entries, |(result, expected_len)| {
+        assert_eq!(
+            result.labels.len(),
+            *expected_len,
+            "{}: labels must cover the shared database",
+            result.algorithm
+        );
+        EvalEntry {
+            algorithm: result.algorithm.clone(),
+            params: result.params.clone(),
+            metrics: compute_metrics_sampled(&db, result, config.silhouette_cap, config.seed),
+            runtime_secs: result.runtime_secs,
+        }
+    });
 
     EvalReport {
         dataset: dataset.to_string(),

@@ -23,13 +23,16 @@
 //!   aligned text table;
 //! * [`harness`] — [`evaluate_dataset`], running TRACLUS (sequential,
 //!   parallel, streaming) and all four baselines over a parameter grid
-//!   with wall-clock capture.
+//!   with wall-clock capture;
+//! * [`parallel`] — [`parallel_map`], the std-only ordered parallel map
+//!   the harness uses to score metrics across entries concurrently.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod result;
 
@@ -38,5 +41,6 @@ pub use metrics::{
     cluster_sizes, compute_metrics, compute_metrics_sampled, noise_ratio, segment_silhouette,
     segment_silhouette_sampled, ssq_to_representatives, QualityMetrics, SizeStats,
 };
+pub use parallel::parallel_map;
 pub use report::{EvalEntry, EvalReport};
 pub use result::ClusteringResult;

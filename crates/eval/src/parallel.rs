@@ -1,0 +1,86 @@
+//! An ordered parallel map over scoped threads — the one concurrency
+//! primitive the evaluation harness needs (std-only; the workspace has no
+//! rayon). Moved here from `traclus_bench::util` so the harness itself
+//! can parallelise metric scoring without a dependency cycle (bench
+//! depends on eval); bench re-exports it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every input on a pool of scoped threads (one per CPU,
+/// capped at the input count), returning results in input order.
+///
+/// Work is handed out by an atomic cursor, so long jobs don't serialise
+/// behind a static partition. If `f` panics on any input, the panic
+/// propagates out of the enclosing `thread::scope` after all workers
+/// join — results are never silently dropped.
+pub fn parallel_map<T: Sync, R: Send>(inputs: Vec<T>, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(inputs.len().max(1));
+    let results: Vec<Mutex<Option<R>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= inputs.len() {
+                    break;
+                }
+                let result = f(&inputs[i]);
+                // A slot mutex is only ever locked by the worker that drew
+                // its index, so a poisoned lock is unreachable — and were a
+                // worker to panic, the scope re-raises before results are
+                // read. `into_inner` on the error keeps this panic-free.
+                let mut slot = match results[i].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *slot = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            let slot = match m.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match slot {
+                Some(r) => r,
+                // Unreachable: the cursor hands out every index exactly
+                // once and the scope joins all workers.
+                None => unreachable!("parallel_map: a job never completed"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = parallel_map(inputs, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        assert_eq!(parallel_map(Vec::<u8>::new(), |&x| x), Vec::<u8>::new());
+        assert_eq!(parallel_map(vec![7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_match_sequential_on_nontrivial_work() {
+        let inputs: Vec<usize> = (1..40).collect();
+        let expensive = |&n: &usize| (0..n * 1000).fold(0u64, |a, b| a.wrapping_add(b as u64));
+        let parallel = parallel_map(inputs.clone(), expensive);
+        let sequential: Vec<u64> = inputs.iter().map(expensive).collect();
+        assert_eq!(parallel, sequential);
+    }
+}

@@ -1,8 +1,13 @@
-//! The comparison report: machine-readable JSON (serde-free, hand-rolled
-//! writer — the workspace builds offline) plus an aligned text table for
-//! terminals and READMEs.
+//! The comparison report: machine-readable JSON (via the shared
+//! serde-free [`traclus_json`] writer — the workspace builds offline)
+//! plus an aligned text table for terminals and READMEs.
+//!
+//! The JSON layout is pinned byte for byte by the golden-report
+//! regression test (`tests/golden_report.rs`): downstream tooling diffs
+//! checked-in reports, so formatting is part of the contract.
 
 use crate::metrics::QualityMetrics;
+use traclus_json::JsonValue;
 
 /// One algorithm × parameter-point evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,56 +58,22 @@ impl EvalReport {
     /// `null`; non-finite numbers also map to `null` so the output is
     /// always valid JSON (and [`Self::validate`] rejects them anyway).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        out.push_str(&format!("  \"dataset\": {},\n", json_string(&self.dataset)));
-        out.push_str(&format!("  \"trajectories\": {},\n", self.trajectories));
-        out.push_str(&format!("  \"segments\": {},\n", self.segments));
-        out.push_str("  \"entries\": [\n");
-        for (i, e) in self.entries.iter().enumerate() {
-            out.push_str("    {\n");
-            out.push_str(&format!(
-                "      \"algorithm\": {},\n",
-                json_string(&e.algorithm)
-            ));
-            out.push_str("      \"params\": {");
-            for (j, (k, v)) in e.params.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                out.push_str(&format!("{}: {}", json_string(k), json_string(v)));
-            }
-            out.push_str("},\n");
-            let m = &e.metrics;
-            out.push_str(&format!(
-                "      \"silhouette\": {},\n",
-                json_opt_f64(m.silhouette)
-            ));
-            out.push_str(&format!(
-                "      \"noise_ratio\": {},\n",
-                json_f64(m.noise_ratio)
-            ));
-            out.push_str(&format!("      \"cluster_count\": {},\n", m.cluster_count));
-            out.push_str(&format!(
-                "      \"cluster_sizes\": {{\"min\": {}, \"max\": {}, \"mean\": {}, \"median\": {}}},\n",
-                m.sizes.min,
-                m.sizes.max,
-                json_f64(m.sizes.mean),
-                json_f64(m.sizes.median)
-            ));
-            out.push_str(&format!("      \"ssq\": {},\n", json_opt_f64(m.ssq)));
-            out.push_str(&format!(
-                "      \"runtime_secs\": {}\n",
-                json_f64(e.runtime_secs)
-            ));
-            out.push_str(if i + 1 < self.entries.len() {
-                "    },\n"
-            } else {
-                "    }\n"
-            });
-        }
-        out.push_str("  ]\n}\n");
-        out
+        self.to_json_value().to_pretty() + "\n"
+    }
+
+    /// The report as a [`JsonValue`] tree — what [`Self::to_json`]
+    /// serialises, exposed so callers can embed reports in larger
+    /// documents (the perf snapshots do) without re-parsing.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("dataset", JsonValue::from(self.dataset.as_str())),
+            ("trajectories", JsonValue::from(self.trajectories)),
+            ("segments", JsonValue::from(self.segments)),
+            (
+                "entries",
+                JsonValue::array(self.entries.iter().map(EvalEntry::to_json_value)),
+            ),
+        ])
     }
 
     /// Renders an aligned text table (one row per entry).
@@ -164,34 +135,37 @@ impl EvalReport {
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+impl EvalEntry {
+    /// One entry as a [`JsonValue`] object (see
+    /// [`EvalReport::to_json_value`]).
+    pub fn to_json_value(&self) -> JsonValue {
+        let m = &self.metrics;
+        JsonValue::object([
+            ("algorithm", JsonValue::from(self.algorithm.as_str())),
+            (
+                "params",
+                JsonValue::object(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str()))),
+                ),
+            ),
+            ("silhouette", JsonValue::opt_f64(m.silhouette)),
+            ("noise_ratio", JsonValue::from(m.noise_ratio)),
+            ("cluster_count", JsonValue::from(m.cluster_count)),
+            (
+                "cluster_sizes",
+                JsonValue::object([
+                    ("min", JsonValue::from(m.sizes.min)),
+                    ("max", JsonValue::from(m.sizes.max)),
+                    ("mean", JsonValue::from(m.sizes.mean)),
+                    ("median", JsonValue::from(m.sizes.median)),
+                ]),
+            ),
+            ("ssq", JsonValue::opt_f64(m.ssq)),
+            ("runtime_secs", JsonValue::from(self.runtime_secs)),
+        ])
     }
-    out.push('"');
-    out
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn json_opt_f64(v: Option<f64>) -> String {
-    v.map(json_f64).unwrap_or_else(|| "null".to_string())
 }
 
 #[cfg(test)]
@@ -232,22 +206,36 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
-        // Balanced braces/brackets — a cheap well-formedness check with
-        // no JSON parser available offline.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Full well-formedness via the shared parser.
+        let parsed = JsonValue::parse(&json).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("dataset").and_then(JsonValue::as_str),
+            Some("unit")
+        );
     }
 
     #[test]
     fn json_escapes_strings() {
-        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        let mut r = sample_report();
+        r.dataset = "a\"b\\c\n".to_string();
+        let json = r.to_json();
+        assert!(json.contains("\"dataset\": \"a\\\"b\\\\c\\n\""), "{json}");
+        // …and the escaped form parses back to the original.
+        let parsed = JsonValue::parse(&json).expect("escaped report parses");
+        assert_eq!(
+            parsed.get("dataset").and_then(JsonValue::as_str),
+            Some("a\"b\\c\n")
+        );
     }
 
     #[test]
     fn non_finite_numbers_become_null() {
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(f64::INFINITY), "null");
-        assert_eq!(json_f64(1.5), "1.5");
+        let mut r = sample_report();
+        r.entries[0].metrics.silhouette = Some(f64::NAN);
+        r.entries[0].runtime_secs = f64::INFINITY;
+        let json = r.to_json();
+        assert!(json.contains("\"silhouette\": null"), "{json}");
+        assert!(json.contains("\"runtime_secs\": null"), "{json}");
     }
 
     #[test]

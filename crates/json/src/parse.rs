@@ -1,0 +1,411 @@
+//! A strict, total JSON parser: recursive descent over bytes, with a
+//! hard nesting-depth cap so adversarial input (the serving protocol
+//! reads lines from untrusted sockets) can neither panic nor overflow
+//! the stack.
+
+use crate::value::JsonValue;
+
+/// Nesting depth past which parsing aborts. Deep enough for any document
+/// this workspace produces, shallow enough that a `[[[[…` flood from a
+/// socket cannot exhaust the stack.
+const MAX_DEPTH: usize = 128;
+
+/// A parse failure, locating the offending byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line of the offset.
+    pub line: usize,
+    /// 1-based column (in bytes) of the offset.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+pub(crate) fn parse_value(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing content after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        let offset = self.pos.min(self.bytes.len());
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..offset] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        JsonError {
+            offset,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.consume(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.consume(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Consume one whole UTF-8 scalar (input is &str, so
+                    // boundaries are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let len = utf8_len(rest[0]);
+                    let chunk = std::str::from_utf8(&rest[..len.min(rest.len())])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos += chunk.len();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (the `u` already consumed),
+    /// gluing surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: require a following `\uXXXX` low surrogate.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let second = self.hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(code)
+                        .ok_or_else(|| self.error("invalid surrogate pair"));
+                }
+            }
+            return Err(self.error("lone high surrogate in \\u escape"));
+        }
+        if (0xDC00..0xE000).contains(&first) {
+            return Err(self.error("lone low surrogate in \\u escape"));
+        }
+        char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let digit = match self.peek() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+                Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+                _ => return Err(self.error("expected 4 hex digits after \\u")),
+            };
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let first_digit = self.pos;
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[first_digit] == b'0' {
+            return Err(self.error("leading zeros are not valid JSON"));
+        }
+        let mut fractional = false;
+        if self.peek() == Some(b'.') {
+            fractional = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !fractional {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(JsonValue::Number(v)),
+            Ok(_) => Err(self.error("number overflows f64")),
+            Err(_) => Err(self.error("invalid number")),
+        }
+    }
+
+    /// Consumes ≥ 1 ASCII digits, returning how many.
+    fn digits(&mut self) -> Result<usize, JsonError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a digit"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<JsonValue, JsonError> {
+        JsonValue::parse(s)
+    }
+
+    #[test]
+    fn parses_every_scalar() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("-42").unwrap(), JsonValue::Int(-42));
+        assert_eq!(parse("1.5e2").unwrap(), JsonValue::Number(150.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), JsonValue::from("a\nb"));
+    }
+
+    #[test]
+    fn integral_tokens_become_int_others_number() {
+        assert_eq!(
+            parse("9007199254740993").unwrap(),
+            JsonValue::Int(9007199254740993)
+        );
+        assert_eq!(parse("1.0").unwrap(), JsonValue::Number(1.0));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Number(1000.0));
+        // Past i64: falls back to f64.
+        assert_eq!(
+            parse("99999999999999999999").unwrap(),
+            JsonValue::Number(1e20)
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(|a| a.as_array()).map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            JsonValue::from("\u{1F600}")
+        );
+        assert!(parse("\"\\ud83d\"").is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_located_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "+1",
+            "01",
+            "1.",
+            "\"unterminated",
+            "[1 2]",
+            "{\"a\":1,}",
+            "[]extra",
+            "\"bad \\q escape\"",
+            "--1",
+            "1e",
+            "\u{7}",
+        ] {
+            let err = parse(bad).expect_err(&format!("{bad:?} must fail"));
+            assert!(err.line >= 1 && err.column >= 1, "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_rejects_bomb_without_panicking() {
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).expect_err("depth bomb");
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn error_locations_count_lines() {
+        let err = parse("{\n  \"a\": tru\n}").expect_err("bad literal");
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+    }
+}

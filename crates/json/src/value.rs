@@ -1,0 +1,205 @@
+//! The JSON value tree and its accessors.
+
+use crate::parse::{parse_value, JsonError};
+
+/// One JSON value.
+///
+/// Integers get their own variant so counts round-trip exactly at any
+/// magnitude (an `i64` routed through `f64` would lose precision past
+/// 2⁵³); the parser produces [`JsonValue::Int`] for integral tokens that
+/// fit, [`JsonValue::Number`] otherwise. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also how non-finite floats serialize).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer that fits `i64`, printed without a decimal point.
+    Int(i64),
+    /// Any other number; non-finite values serialize as `null`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<JsonValue>),
+    /// Key/value pairs in insertion order (deterministic serialization;
+    /// duplicate keys are representable but [`JsonValue::get`] returns the
+    /// first).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array(values: impl IntoIterator<Item = JsonValue>) -> Self {
+        JsonValue::Array(values.into_iter().collect())
+    }
+
+    /// A float that serializes as `null` when `None` or non-finite — the
+    /// optional-metric convention of the evaluation reports.
+    pub fn opt_f64(v: Option<f64>) -> Self {
+        match v {
+            Some(v) => JsonValue::Number(v),
+            None => JsonValue::Null,
+        }
+    }
+
+    /// Parses one JSON document (surrounding whitespace allowed, trailing
+    /// content rejected). Never panics; malformed input yields a
+    /// [`JsonError`] locating the problem.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        parse_value(text)
+    }
+
+    /// Member lookup on an object (first match); `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an [`Int`](Self::Int) or
+    /// [`Number`](Self::Number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer value of an [`Int`](Self::Int).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The borrowed string of a [`String`](Self::String) value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean of a [`Bool`](Self::Bool) value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements of an [`Array`](Self::Array) value.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The pairs of an [`Object`](Self::Object) value.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::Int(v as i64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        // Counts beyond i64::MAX cannot occur in this workspace (they
+        // would exceed addressable memory long before); saturate rather
+        // than wrap so the impossible case still serializes as *a* number.
+        JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::String(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_returns_first_match_and_none_elsewhere() {
+        let v = JsonValue::object([
+            ("a", JsonValue::Int(1)),
+            ("a", JsonValue::Int(2)),
+            ("b", JsonValue::Null),
+        ]);
+        assert_eq!(v.get("a"), Some(&JsonValue::Int(1)));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(JsonValue::Int(3).get("a"), None);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(JsonValue::Int(7).as_f64(), Some(7.0));
+        assert_eq!(JsonValue::Number(1.5).as_f64(), Some(1.5));
+        assert_eq!(JsonValue::Int(7).as_i64(), Some(7));
+        assert_eq!(JsonValue::Number(1.5).as_i64(), None);
+        assert_eq!(JsonValue::from("x").as_str(), Some("x"));
+        assert_eq!(JsonValue::Bool(true).as_bool(), Some(true));
+        assert!(JsonValue::Null.is_null());
+        assert_eq!(
+            JsonValue::array([JsonValue::Null])
+                .as_array()
+                .map(<[_]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn usize_conversion_saturates() {
+        assert_eq!(JsonValue::from(usize::MAX).as_i64(), Some(i64::MAX));
+        assert_eq!(JsonValue::from(5usize).as_i64(), Some(5));
+    }
+}

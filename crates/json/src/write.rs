@@ -1,0 +1,204 @@
+//! Serialization: compact one-liners and a human-oriented pretty layout.
+
+use crate::value::JsonValue;
+
+/// Escapes and quotes a string for JSON output (quotes, backslashes,
+/// `\n`/`\r`/`\t`, and `\u00XX` for remaining control characters).
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float: shortest-round-trip `Display` when finite, `null`
+/// otherwise — the output is always valid JSON, and validation layers
+/// catch the non-finite case separately.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl JsonValue {
+    /// Serializes on one line: `{"k": v, "k2": [1, 2]}` — the
+    /// line-delimited protocol format.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_inline(self, &mut out);
+        out
+    }
+
+    /// Serializes with a two-space-indented layout in which *leaf*
+    /// containers — objects and arrays without container children — stay
+    /// on one line. This is exactly the historical `EvalReport` rendering
+    /// (scalar blocks such as `"params": {"eps": "5"}` inline, structure
+    /// multiline), now shared by every report writer. No trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+fn scalar(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => out.push_str(&i.to_string()),
+        JsonValue::Number(n) => out.push_str(&format_f64(*n)),
+        JsonValue::String(s) => out.push_str(&escape_string(s)),
+        JsonValue::Array(_) | JsonValue::Object(_) => unreachable!("containers handled by caller"),
+    }
+}
+
+fn write_inline(value: &JsonValue, out: &mut String) {
+    match value {
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(item, out);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&escape_string(k));
+                out.push_str(": ");
+                write_inline(v, out);
+            }
+            out.push('}');
+        }
+        other => scalar(other, out),
+    }
+}
+
+/// Whether a container holds another container (which forces the
+/// multiline layout in [`JsonValue::to_pretty`]).
+fn has_container_children(value: &JsonValue) -> bool {
+    match value {
+        JsonValue::Array(items) => items.iter().any(is_container),
+        JsonValue::Object(pairs) => pairs.iter().any(|(_, v)| is_container(v)),
+        _ => false,
+    }
+}
+
+fn is_container(value: &JsonValue) -> bool {
+    matches!(value, JsonValue::Array(_) | JsonValue::Object(_))
+}
+
+fn write_pretty(value: &JsonValue, indent: usize, out: &mut String) {
+    match value {
+        JsonValue::Array(items) if !items.is_empty() && has_container_children(value) => {
+            let pad = "  ".repeat(indent + 1);
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_pretty(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        JsonValue::Object(pairs) if !pairs.is_empty() && has_container_children(value) => {
+            let pad = "  ".repeat(indent + 1);
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str(&escape_string(k));
+                out.push_str(": ");
+                write_pretty(v, indent + 1, out);
+                out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(indent));
+            out.push('}');
+        }
+        leaf => write_inline(leaf, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_matches_the_historical_writer() {
+        assert_eq!(escape_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        assert_eq!(format_f64(1.5), "1.5");
+        assert_eq!(format_f64(3.0), "3");
+    }
+
+    #[test]
+    fn compact_is_single_line() {
+        let v = JsonValue::object([
+            ("a", JsonValue::Int(1)),
+            (
+                "b",
+                JsonValue::array([JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+        ]);
+        assert_eq!(v.to_compact(), r#"{"a": 1, "b": [null, true]}"#);
+    }
+
+    #[test]
+    fn pretty_inlines_leaf_containers_only() {
+        let v = JsonValue::object([
+            ("meta", JsonValue::object([("k", JsonValue::from("v"))])),
+            (
+                "rows",
+                JsonValue::array([JsonValue::object([("n", JsonValue::Int(1))])]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_pretty(),
+            "{\n  \"meta\": {\"k\": \"v\"},\n  \"rows\": [\n    {\"n\": 1}\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn pretty_keeps_empty_containers_inline() {
+        let v = JsonValue::object([
+            ("empty_obj", JsonValue::object::<&str>([])),
+            ("empty_arr", JsonValue::array([])),
+        ]);
+        assert_eq!(
+            v.to_pretty(),
+            "{\n  \"empty_obj\": {},\n  \"empty_arr\": []\n}"
+        );
+    }
+
+    #[test]
+    fn pretty_scalar_is_bare() {
+        assert_eq!(JsonValue::Int(5).to_pretty(), "5");
+        assert_eq!(JsonValue::Null.to_pretty(), "null");
+    }
+}

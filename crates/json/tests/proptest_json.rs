@@ -1,0 +1,144 @@
+//! Property tests: serialize→parse round-trips on arbitrary value trees,
+//! and parser totality (arbitrary input never panics).
+//!
+//! The vendored proptest has no recursive or string strategies, so this
+//! file implements a `Strategy` for JSON trees directly on top of the
+//! test RNG.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use rand::Rng;
+use traclus_json::JsonValue;
+
+/// Characters worth stressing in strings: escapes, controls, non-ASCII,
+/// astral-plane (exercises `\u` surrogate pairs when re-parsed), and
+/// plain text.
+const STRING_POOL: &[char] = &[
+    'a',
+    'b',
+    'z',
+    '0',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0}',
+    '\u{1}',
+    '\u{1f}',
+    'é',
+    '中',
+    '\u{1F600}',
+    '\u{FFFD}',
+];
+
+fn arb_string(rng: &mut TestRng) -> String {
+    let len = rng.gen_range(0..12usize);
+    (0..len)
+        .map(|_| STRING_POOL[rng.gen_range(0..STRING_POOL.len())])
+        .collect()
+}
+
+/// A finite, non-integral f64. Non-integral matters for round-trip
+/// equality: `7.0` prints as `7`, which the parser (correctly) reads back
+/// as `Int(7)` — a representation change, not a data change. Keeping a
+/// fractional part pins the variant; integral numbers are covered by the
+/// `Int` arm.
+fn arb_fractional(rng: &mut TestRng) -> f64 {
+    let mut v: f64 = rng.gen_range(-1.0e12..1.0e12);
+    if v.fract() == 0.0 {
+        v += 0.5;
+    }
+    v
+}
+
+fn arb_value(rng: &mut TestRng, depth: usize) -> JsonValue {
+    let max_kind = if depth == 0 { 5 } else { 7 };
+    match rng.gen_range(0..max_kind) {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.gen_range(0..2) == 1),
+        2 => JsonValue::Int(rng.gen_range(i64::MIN..i64::MAX)),
+        3 => JsonValue::Number(arb_fractional(rng)),
+        4 => JsonValue::String(arb_string(rng)),
+        5 => {
+            let len = rng.gen_range(0..4usize);
+            JsonValue::array(
+                (0..len)
+                    .map(|_| arb_value(rng, depth - 1))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        _ => {
+            let len = rng.gen_range(0..4usize);
+            JsonValue::object(
+                (0..len)
+                    .map(|_| (arb_string(rng), arb_value(rng, depth - 1)))
+                    .collect::<Vec<_>>(),
+            )
+        }
+    }
+}
+
+struct JsonTree;
+
+impl Strategy for JsonTree {
+    type Value = JsonValue;
+    fn generate(&self, rng: &mut TestRng) -> JsonValue {
+        arb_value(rng, 3)
+    }
+}
+
+/// Arbitrary short text over a JSON-ish alphabet — dense in *almost*
+/// valid documents, which probe far more parser paths than uniform bytes.
+struct JsonSoup;
+
+impl Strategy for JsonSoup {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const SOUP: &[char] = &[
+            '{', '}', '[', ']', '"', ':', ',', '-', '+', '.', 'e', 'E', '0', '1', '9', 't', 'r',
+            'u', 'f', 'a', 'l', 's', 'n', '\\', ' ', '\n', '\u{1}', 'é',
+        ];
+        let len = rng.gen_range(0..40usize);
+        (0..len)
+            .map(|_| SOUP[rng.gen_range(0..SOUP.len())])
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn compact_round_trips(value in JsonTree) {
+        let text = value.to_compact();
+        let back = JsonValue::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&value), "compact text: {}", text);
+    }
+
+    #[test]
+    fn pretty_round_trips(value in JsonTree) {
+        let text = value.to_pretty();
+        let back = JsonValue::parse(&text);
+        prop_assert_eq!(back.as_ref(), Ok(&value), "pretty text: {}", text);
+    }
+
+    #[test]
+    fn parser_is_total_on_soup(text in JsonSoup) {
+        // The property is that this returns (Ok or Err) rather than
+        // panicking; when it does parse, re-serializing must parse again.
+        if let Ok(v) = JsonValue::parse(&text) {
+            let reserialized = v.to_compact();
+            prop_assert_eq!(JsonValue::parse(&reserialized), Ok(v));
+        }
+    }
+
+    #[test]
+    fn escaped_strings_round_trip(s in JsonSoup) {
+        let v = JsonValue::from(s.as_str());
+        prop_assert_eq!(JsonValue::parse(&v.to_compact()), Ok(v));
+    }
+}

@@ -1,0 +1,365 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. The protocol is 2-D (points are `[x, y]`
+//! pairs) — the serving daemon targets the paper's trajectory datasets,
+//! which are planar. Requests:
+//!
+//! | `op`              | fields                            | answer |
+//! |-------------------|-----------------------------------|--------|
+//! | `ingest`          | `points: [[x,y],…]`, `weight?`    | assigned trajectory id (queued, not yet applied) |
+//! | `membership`      | `trajectory: id`                  | clusters containing that trajectory |
+//! | `nearest`         | `point: [x,y]`                    | closest cluster + distance to its representative |
+//! | `representatives` | —                                 | every cluster's representative polyline |
+//! | `region`          | `min: [x,y]`, `max: [x,y]`        | clusters crossing the axis-aligned region |
+//! | `stats`           | —                                 | engine counters + snapshot epoch |
+//! | `flush`           | —                                 | blocks until every queued ingest is applied and published |
+//! | `shutdown`        | —                                 | acknowledges, then stops the daemon |
+//!
+//! Responses carry `"ok": true` plus op-specific fields, or
+//! `"ok": false, "error": "…"` — malformed input yields a typed
+//! [`ProtocolError`], never a panic (the fuzz suite in
+//! `tests/protocol_proptest.rs` holds the parser to that).
+
+use traclus_json::{JsonError, JsonValue};
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Queue one trajectory for ingestion.
+    Ingest {
+        /// Polyline vertices as `[x, y]` pairs.
+        points: Vec<[f64; 2]>,
+        /// Optional trajectory weight (Section 4.2 extension); `None`
+        /// means unweighted.
+        weight: Option<f64>,
+    },
+    /// Which clusters contain a trajectory?
+    Membership {
+        /// The trajectory id assigned at ingest.
+        trajectory: u32,
+    },
+    /// Which cluster's representative passes closest to a probe point?
+    Nearest {
+        /// The probe point.
+        point: [f64; 2],
+    },
+    /// All representative trajectories.
+    Representatives,
+    /// Which clusters cross an axis-aligned region?
+    Region {
+        /// Region minimum corner.
+        min: [f64; 2],
+        /// Region maximum corner.
+        max: [f64; 2],
+    },
+    /// Engine counters and the current snapshot epoch.
+    Stats,
+    /// Block until every queued ingest is applied and published.
+    Flush,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// A request the server could not act on. Conversion to the wire format
+/// is total: every variant renders as an `"ok": false` response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The line is not valid JSON.
+    Json(JsonError),
+    /// The line parsed, but not to a JSON object.
+    NotAnObject,
+    /// The object has no string `"op"` member.
+    MissingOp,
+    /// The `"op"` value names no known operation.
+    UnknownOp(String),
+    /// A required field is absent.
+    MissingField {
+        /// The operation being parsed.
+        op: &'static str,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A field is present but has the wrong shape.
+    BadField {
+        /// The operation being parsed.
+        op: &'static str,
+        /// The offending field.
+        field: &'static str,
+        /// What the field must look like.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ProtocolError::NotAnObject => write!(f, "request must be a JSON object"),
+            ProtocolError::MissingOp => write!(f, "request has no string \"op\" member"),
+            ProtocolError::UnknownOp(op) => write!(f, "unknown op {op:?}"),
+            ProtocolError::MissingField { op, field } => {
+                write!(f, "{op}: missing required field \"{field}\"")
+            }
+            ProtocolError::BadField {
+                op,
+                field,
+                expected,
+            } => write!(f, "{op}: field \"{field}\" must be {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<JsonError> for ProtocolError {
+    fn from(e: JsonError) -> Self {
+        ProtocolError::Json(e)
+    }
+}
+
+fn point_json(p: &[f64; 2]) -> JsonValue {
+    JsonValue::array([JsonValue::from(p[0]), JsonValue::from(p[1])])
+}
+
+fn parse_point(
+    value: &JsonValue,
+    op: &'static str,
+    field: &'static str,
+) -> Result<[f64; 2], ProtocolError> {
+    let bad = || ProtocolError::BadField {
+        op,
+        field,
+        expected: "a finite [x, y] pair",
+    };
+    let items = value.as_array().ok_or_else(bad)?;
+    if items.len() != 2 {
+        return Err(bad());
+    }
+    let x = items[0].as_f64().ok_or_else(bad)?;
+    let y = items[1].as_f64().ok_or_else(bad)?;
+    if !x.is_finite() || !y.is_finite() {
+        return Err(bad());
+    }
+    Ok([x, y])
+}
+
+fn required<'a>(
+    obj: &'a JsonValue,
+    op: &'static str,
+    field: &'static str,
+) -> Result<&'a JsonValue, ProtocolError> {
+    obj.get(field)
+        .ok_or(ProtocolError::MissingField { op, field })
+}
+
+impl Request {
+    /// Parses one request line. Total: any input yields `Ok` or a typed
+    /// [`ProtocolError`] — never a panic.
+    pub fn parse_line(line: &str) -> Result<Self, ProtocolError> {
+        let value = JsonValue::parse(line)?;
+        if value.as_object().is_none() {
+            return Err(ProtocolError::NotAnObject);
+        }
+        let op = value
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .ok_or(ProtocolError::MissingOp)?;
+        match op {
+            "ingest" => {
+                let raw = required(&value, "ingest", "points")?;
+                let items = raw.as_array().ok_or(ProtocolError::BadField {
+                    op: "ingest",
+                    field: "points",
+                    expected: "an array of [x, y] pairs",
+                })?;
+                let points = items
+                    .iter()
+                    .map(|p| parse_point(p, "ingest", "points"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let weight = match value.get("weight") {
+                    None => None,
+                    Some(w) if w.is_null() => None,
+                    Some(w) => {
+                        let w = w.as_f64().ok_or(ProtocolError::BadField {
+                            op: "ingest",
+                            field: "weight",
+                            expected: "a finite positive number",
+                        })?;
+                        if !w.is_finite() || w <= 0.0 {
+                            return Err(ProtocolError::BadField {
+                                op: "ingest",
+                                field: "weight",
+                                expected: "a finite positive number",
+                            });
+                        }
+                        Some(w)
+                    }
+                };
+                Ok(Request::Ingest { points, weight })
+            }
+            "membership" => {
+                let raw = required(&value, "membership", "trajectory")?;
+                let id = raw.as_i64().and_then(|i| u32::try_from(i).ok()).ok_or(
+                    ProtocolError::BadField {
+                        op: "membership",
+                        field: "trajectory",
+                        expected: "a trajectory id (non-negative integer)",
+                    },
+                )?;
+                Ok(Request::Membership { trajectory: id })
+            }
+            "nearest" => {
+                let point = parse_point(required(&value, "nearest", "point")?, "nearest", "point")?;
+                Ok(Request::Nearest { point })
+            }
+            "representatives" => Ok(Request::Representatives),
+            "region" => {
+                let min = parse_point(required(&value, "region", "min")?, "region", "min")?;
+                let max = parse_point(required(&value, "region", "max")?, "region", "max")?;
+                Ok(Request::Region { min, max })
+            }
+            "stats" => Ok(Request::Stats),
+            "flush" => Ok(Request::Flush),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError::UnknownOp(other.to_string())),
+        }
+    }
+
+    /// The request as a JSON value (inverse of [`Self::parse_line`] up to
+    /// field order, which this encoder fixes canonically).
+    pub fn to_json(&self) -> JsonValue {
+        match self {
+            Request::Ingest { points, weight } => {
+                let mut fields = vec![
+                    ("op".to_string(), JsonValue::from("ingest")),
+                    (
+                        "points".to_string(),
+                        JsonValue::array(points.iter().map(point_json)),
+                    ),
+                ];
+                if let Some(w) = weight {
+                    fields.push(("weight".to_string(), JsonValue::from(*w)));
+                }
+                JsonValue::Object(fields)
+            }
+            Request::Membership { trajectory } => JsonValue::object([
+                ("op", JsonValue::from("membership")),
+                ("trajectory", JsonValue::from(*trajectory)),
+            ]),
+            Request::Nearest { point } => JsonValue::object([
+                ("op", JsonValue::from("nearest")),
+                ("point", point_json(point)),
+            ]),
+            Request::Representatives => {
+                JsonValue::object([("op", JsonValue::from("representatives"))])
+            }
+            Request::Region { min, max } => JsonValue::object([
+                ("op", JsonValue::from("region")),
+                ("min", point_json(min)),
+                ("max", point_json(max)),
+            ]),
+            Request::Stats => JsonValue::object([("op", JsonValue::from("stats"))]),
+            Request::Flush => JsonValue::object([("op", JsonValue::from("flush"))]),
+            Request::Shutdown => JsonValue::object([("op", JsonValue::from("shutdown"))]),
+        }
+    }
+
+    /// The request as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+}
+
+/// Renders an error as the `"ok": false` wire response.
+pub fn error_response(error: &ProtocolError) -> JsonValue {
+    JsonValue::object([
+        ("ok", JsonValue::from(false)),
+        ("error", JsonValue::from(error.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_op() {
+        assert_eq!(
+            Request::parse_line(r#"{"op": "ingest", "points": [[0, 1], [2.5, -3]]}"#).unwrap(),
+            Request::Ingest {
+                points: vec![[0.0, 1.0], [2.5, -3.0]],
+                weight: None
+            }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op": "membership", "trajectory": 7}"#).unwrap(),
+            Request::Membership { trajectory: 7 }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op": "flush"}"#).unwrap(),
+            Request::Flush
+        );
+    }
+
+    #[test]
+    fn round_trips_through_to_line() {
+        let requests = [
+            Request::Ingest {
+                points: vec![[1.5, 2.5]],
+                weight: Some(2.0),
+            },
+            Request::Nearest { point: [0.5, -0.5] },
+            Request::Region {
+                min: [0.0, 0.0],
+                max: [10.5, 10.5],
+            },
+            Request::Representatives,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in requests {
+            assert_eq!(Request::parse_line(&r.to_line()).as_ref(), Ok(&r));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_yield_typed_errors() {
+        assert!(matches!(
+            Request::parse_line("not json"),
+            Err(ProtocolError::Json(_))
+        ));
+        assert_eq!(Request::parse_line("[1]"), Err(ProtocolError::NotAnObject));
+        assert_eq!(
+            Request::parse_line(r#"{"points": []}"#),
+            Err(ProtocolError::MissingOp)
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op": "evaporate"}"#),
+            Err(ProtocolError::UnknownOp("evaporate".to_string()))
+        );
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "ingest"}"#),
+            Err(ProtocolError::MissingField { .. })
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "ingest", "points": [[1]]}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "membership", "trajectory": -3}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "ingest", "points": [], "weight": 0}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_as_wire_responses() {
+        let resp = error_response(&ProtocolError::MissingOp);
+        assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(false)));
+        assert!(resp.get("error").and_then(JsonValue::as_str).is_some());
+    }
+}

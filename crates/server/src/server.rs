@@ -1,0 +1,378 @@
+//! The TCP daemon: accept loop, connection handlers, graceful shutdown.
+
+// xtask:allow-file(wall-clock): the serving layer measures per-request
+// latency (the `micros` response field) and polls sockets under a read
+// timeout. Neither reading influences clustering output — the engine and
+// snapshot layers below this file stay wall-clock-free, so determinism of
+// results is untouched.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use traclus_core::{ClusterSnapshot, SnapshotCell, TraclusConfig};
+use traclus_geom::{Aabb, Point2, TrajectoryId};
+use traclus_json::JsonValue;
+
+use crate::engine::{flush, send_command, EngineCommand, EngineThread};
+use crate::protocol::{error_response, Request};
+
+/// Configuration of one serving daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// The clustering pipeline configuration the engine runs under.
+    pub traclus: TraclusConfig,
+    /// Ingest-queue bound: how many trajectories may wait for the engine
+    /// before `ingest` requests block (back-pressure).
+    pub queue_depth: usize,
+    /// How often idle connection handlers wake to check for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            traclus: TraclusConfig::default(),
+            queue_depth: 1024,
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Shared state every connection handler closes over.
+struct Shared {
+    cell: Arc<SnapshotCell<2>>,
+    commands: SyncSender<EngineCommand>,
+    next_id: AtomicU32,
+    shutdown: AtomicBool,
+    poll_interval: Duration,
+}
+
+/// A bound, not-yet-running serving daemon.
+///
+/// [`Self::bind`] reserves the port (so callers can read
+/// [`Self::local_addr`] before serving); [`Self::run`] blocks in the
+/// accept loop until a client sends `shutdown`, then drains: handlers
+/// finish their connections, the engine thread applies everything queued,
+/// and `run` returns.
+///
+/// ```no_run
+/// use traclus_server::{Server, ServerConfig};
+///
+/// let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+/// println!("listening on {}", server.local_addr());
+/// server.run().unwrap();
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    engine: EngineThread,
+}
+
+impl Server {
+    /// Binds the listener and spawns the engine thread. `addr` may use
+    /// port 0 to let the OS pick (read it back via [`Self::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let cell = Arc::new(SnapshotCell::<2>::new(config.traclus));
+        let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
+        let engine = EngineThread::spawn(config.traclus, Arc::clone(&cell), rx);
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                cell,
+                commands: tx,
+                next_id: AtomicU32::new(0),
+                shutdown: AtomicBool::new(false),
+                poll_interval: config.poll_interval,
+            }),
+            engine,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        match self.listener.local_addr() {
+            Ok(addr) => addr,
+            // A bound listener always has a local address; losing it means
+            // the socket is gone and serving is impossible anyway.
+            Err(e) => panic!("bound listener has no local address: {e}"),
+        }
+    }
+
+    /// Serves until a client sends `shutdown`. Returns after every
+    /// connection handler has exited and the engine thread has drained
+    /// its queue.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.local_addr();
+        let mut handlers = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let shared = Arc::clone(&self.shared);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &shared)
+            }));
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        drop(self.listener);
+        let _ = addr;
+        for h in handlers {
+            if let Err(panic) = h.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        // All handlers (and their queue senders' clones) are gone; tell
+        // the engine to stop after whatever is still queued.
+        let _ = send_command(&self.shared.commands, EngineCommand::Stop);
+        self.engine.join();
+        Ok(())
+    }
+}
+
+/// Wakes the accept loop after the shutdown flag is set: `incoming()`
+/// blocks until one more connection arrives, so make one.
+fn wake_accept_loop(shared: &Shared, stream: &TcpStream) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    if let Ok(addr) = stream.local_addr() {
+        // The handler's stream's local address is the server's listening
+        // socket address on loopback setups; a failed connect just means
+        // the accept loop already observed the flag some other way.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+// Instant::now is the per-request latency probe: readings annotate the
+// `micros` response field only and never influence clustering decisions,
+// so the determinism policy behind the workspace-wide disallow holds.
+#[allow(clippy::disallowed_methods)]
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A read timeout turns the blocking reader into a shutdown poll:
+    // handlers notice the flag within one poll interval even when their
+    // client sends nothing.
+    let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client hung up
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let started = Instant::now();
+                let (response, shutdown) = dispatch(&line, shared);
+                let response = with_timing(response, started);
+                if write_line(&mut writer, &response).is_err() {
+                    break;
+                }
+                if shutdown {
+                    wake_accept_loop(shared, reader.get_ref());
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, response: &JsonValue) -> std::io::Result<()> {
+    writer.write_all(response.to_compact().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Appends the per-request service time. Timing is observability only —
+/// it annotates responses and is never fed back into clustering.
+fn with_timing(response: JsonValue, started: Instant) -> JsonValue {
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    match response {
+        JsonValue::Object(mut pairs) => {
+            pairs.push((
+                "micros".to_string(),
+                JsonValue::Int(i64::try_from(micros).unwrap_or(i64::MAX)),
+            ));
+            JsonValue::Object(pairs)
+        }
+        other => other,
+    }
+}
+
+/// Parses and executes one request line. The bool asks the connection
+/// loop to initiate daemon shutdown after responding.
+fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
+    match Request::parse_line(line) {
+        Err(e) => (error_response(&e), false),
+        Ok(Request::Ingest { points, weight }) => {
+            let id = TrajectoryId(shared.next_id.fetch_add(1, Ordering::SeqCst));
+            match send_command(
+                &shared.commands,
+                EngineCommand::Ingest { id, points, weight },
+            ) {
+                Ok(()) => (
+                    JsonValue::object([
+                        ("ok", JsonValue::from(true)),
+                        ("trajectory", JsonValue::from(id.0)),
+                        ("queued", JsonValue::from(true)),
+                    ]),
+                    false,
+                ),
+                Err(msg) => (engine_gone(msg), false),
+            }
+        }
+        Ok(Request::Membership { trajectory }) => {
+            let snap = shared.cell.load();
+            let clusters = snap.membership(TrajectoryId(trajectory));
+            (
+                ok_with_epoch(
+                    &snap,
+                    [(
+                        "clusters",
+                        JsonValue::array(clusters.iter().map(|c| JsonValue::from(c.0))),
+                    )],
+                ),
+                false,
+            )
+        }
+        Ok(Request::Nearest { point }) => {
+            let snap = shared.cell.load();
+            let found = snap.nearest_cluster(&Point2::xy(point[0], point[1]));
+            (
+                ok_with_epoch(
+                    &snap,
+                    [
+                        (
+                            "cluster",
+                            found.map_or(JsonValue::Null, |(id, _)| JsonValue::from(id.0)),
+                        ),
+                        ("distance", JsonValue::opt_f64(found.map(|(_, d)| d))),
+                    ],
+                ),
+                false,
+            )
+        }
+        Ok(Request::Representatives) => {
+            let snap = shared.cell.load();
+            let clusters = snap.clusters().iter().map(|c| {
+                JsonValue::object([
+                    ("id", JsonValue::from(c.cluster.id.0)),
+                    (
+                        "trajectories",
+                        JsonValue::from(c.cluster.trajectory_cardinality()),
+                    ),
+                    (
+                        "representative",
+                        JsonValue::array(c.representative.points.iter().map(|p| {
+                            JsonValue::array([
+                                JsonValue::from(p.coords[0]),
+                                JsonValue::from(p.coords[1]),
+                            ])
+                        })),
+                    ),
+                ])
+            });
+            let clusters = JsonValue::array(clusters.collect::<Vec<_>>());
+            (ok_with_epoch(&snap, [("clusters", clusters)]), false)
+        }
+        Ok(Request::Region { min, max }) => {
+            let snap = shared.cell.load();
+            let summary = snap.region_summary(&Aabb::new(min, max));
+            (
+                ok_with_epoch(
+                    &snap,
+                    [
+                        (
+                            "clusters",
+                            JsonValue::array(summary.clusters.iter().map(|c| JsonValue::from(c.0))),
+                        ),
+                        (
+                            "distinct_trajectories",
+                            JsonValue::from(summary.distinct_trajectories),
+                        ),
+                    ],
+                ),
+                false,
+            )
+        }
+        Ok(Request::Stats) => {
+            let snap = shared.cell.load();
+            let stats = snap.stats();
+            (
+                ok_with_epoch(
+                    &snap,
+                    [
+                        ("trajectories", JsonValue::from(stats.trajectories)),
+                        ("segments", JsonValue::from(snap.segments())),
+                        ("clusters", JsonValue::from(snap.clusters().len())),
+                        (
+                            "enqueued",
+                            JsonValue::from(shared.next_id.load(Ordering::SeqCst)),
+                        ),
+                        ("core_flips", JsonValue::from(stats.core_flips)),
+                        ("local_repairs", JsonValue::from(stats.local_repairs)),
+                        ("full_rebuilds", JsonValue::from(stats.full_rebuilds)),
+                    ],
+                ),
+                false,
+            )
+        }
+        Ok(Request::Flush) => match flush(&shared.commands) {
+            Ok(epoch) => (
+                JsonValue::object([
+                    ("ok", JsonValue::from(true)),
+                    (
+                        "epoch",
+                        JsonValue::Int(i64::try_from(epoch).unwrap_or(i64::MAX)),
+                    ),
+                ]),
+                false,
+            ),
+            Err(msg) => (engine_gone(msg), false),
+        },
+        Ok(Request::Shutdown) => (JsonValue::object([("ok", JsonValue::from(true))]), true),
+    }
+}
+
+fn engine_gone(msg: &str) -> JsonValue {
+    JsonValue::object([
+        ("ok", JsonValue::from(false)),
+        ("error", JsonValue::from(msg)),
+    ])
+}
+
+fn ok_with_epoch<const N: usize>(
+    snap: &ClusterSnapshot<2>,
+    fields: [(&'static str, JsonValue); N],
+) -> JsonValue {
+    let mut pairs = vec![
+        ("ok".to_string(), JsonValue::from(true)),
+        (
+            "epoch".to_string(),
+            JsonValue::Int(i64::try_from(snap.epoch()).unwrap_or(i64::MAX)),
+        ),
+    ];
+    for (k, v) in fields {
+        pairs.push((k.to_string(), v));
+    }
+    JsonValue::Object(pairs)
+}

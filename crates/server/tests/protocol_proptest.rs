@@ -1,0 +1,160 @@
+//! Protocol property tests: encode→decode round-trips for every request
+//! shape, and parser totality — any line, however mangled, yields a typed
+//! [`ProtocolError`] rather than a panic.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
+use rand::Rng;
+use traclus_server::{ProtocolError, Request};
+
+fn arb_coord(rng: &mut TestRng) -> f64 {
+    // Finite, mixed magnitude; fractional parts exercise float printing.
+    rng.gen_range(-1.0e6..1.0e6)
+}
+
+fn arb_point(rng: &mut TestRng) -> [f64; 2] {
+    [arb_coord(rng), arb_coord(rng)]
+}
+
+struct ArbRequest;
+
+impl Strategy for ArbRequest {
+    type Value = Request;
+    fn generate(&self, rng: &mut TestRng) -> Request {
+        match rng.gen_range(0..8u32) {
+            0 => {
+                let n = rng.gen_range(0..20usize);
+                Request::Ingest {
+                    points: (0..n).map(|_| arb_point(rng)).collect(),
+                    weight: if rng.gen_range(0..2) == 0 {
+                        None
+                    } else {
+                        Some(rng.gen_range(0.001..100.0f64))
+                    },
+                }
+            }
+            1 => Request::Membership {
+                trajectory: rng.gen_range(0..u32::MAX),
+            },
+            2 => Request::Nearest {
+                point: arb_point(rng),
+            },
+            3 => Request::Representatives,
+            4 => {
+                let a = arb_point(rng);
+                let b = arb_point(rng);
+                Request::Region {
+                    min: [a[0].min(b[0]), a[1].min(b[1])],
+                    max: [a[0].max(b[0]), a[1].max(b[1])],
+                }
+            }
+            5 => Request::Stats,
+            6 => Request::Flush,
+            _ => Request::Shutdown,
+        }
+    }
+}
+
+/// Lines dense in almost-valid requests: protocol keywords, JSON
+/// punctuation, numbers, and junk.
+struct RequestSoup;
+
+impl Strategy for RequestSoup {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const FRAGMENTS: &[&str] = &[
+            "{",
+            "}",
+            "[",
+            "]",
+            "\"",
+            ":",
+            ",",
+            " ",
+            "op",
+            "ingest",
+            "points",
+            "weight",
+            "membership",
+            "trajectory",
+            "nearest",
+            "point",
+            "region",
+            "min",
+            "max",
+            "stats",
+            "flush",
+            "shutdown",
+            "representatives",
+            "1",
+            "-3.5",
+            "1e999",
+            "null",
+            "true",
+            "\\u",
+            "\\",
+            "\u{0}",
+            "é",
+        ];
+        let n = rng.gen_range(0..25usize);
+        (0..n)
+            .map(|_| FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())])
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format(request in ArbRequest) {
+        let line = request.to_line();
+        prop_assert!(!line.contains('\n'), "wire lines are single lines: {line:?}");
+        let parsed = Request::parse_line(&line);
+        prop_assert_eq!(parsed.as_ref(), Ok(&request), "line: {}", line);
+    }
+
+    #[test]
+    fn parser_is_total_on_soup(line in RequestSoup) {
+        // Returning at all is the property; a parsed request must also
+        // re-encode and re-parse to itself.
+        match Request::parse_line(&line) {
+            Ok(request) => {
+                let reencoded = request.to_line();
+                prop_assert_eq!(Request::parse_line(&reencoded), Ok(request));
+            }
+            Err(e) => {
+                // Every error renders as a non-empty message (it becomes
+                // the wire error response).
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn weight_zero_and_negative_rejected() {
+    for w in ["0", "-1", "1e999", "null"] {
+        let line = format!("{{\"op\": \"ingest\", \"points\": [], \"weight\": {w}}}");
+        let parsed = Request::parse_line(&line);
+        if w == "null" {
+            assert_eq!(
+                parsed,
+                Ok(Request::Ingest {
+                    points: vec![],
+                    weight: None
+                }),
+                "explicit null weight means unweighted"
+            );
+        } else {
+            assert!(
+                matches!(
+                    parsed,
+                    Err(ProtocolError::BadField { .. }) | Err(ProtocolError::Json(_))
+                ),
+                "weight {w} must be rejected: {parsed:?}"
+            );
+        }
+    }
+}

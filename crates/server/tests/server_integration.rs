@@ -1,0 +1,318 @@
+//! End-to-end tests over live TCP: a daemon on an ephemeral port, real
+//! clients, and the concurrent-equivalence guarantee — every clustering
+//! state a client observes over the wire corresponds to the batch
+//! pipeline run on some prefix of the ingested trajectories.
+
+use std::net::SocketAddr;
+
+use traclus_core::{Traclus, TraclusConfig};
+use traclus_data::{HurricaneConfig, HurricaneGenerator};
+use traclus_geom::Trajectory;
+use traclus_json::JsonValue;
+use traclus_server::{Client, Request, Server, ServerConfig};
+
+fn fixture() -> (TraclusConfig, Vec<Trajectory<2>>) {
+    let config = TraclusConfig {
+        eps: 6.0,
+        min_lns: 4,
+        ..TraclusConfig::default()
+    };
+    let trajectories = HurricaneGenerator::new(HurricaneConfig {
+        tracks: 18,
+        seed: 2007,
+        ..HurricaneConfig::default()
+    })
+    .generate();
+    (config, trajectories)
+}
+
+/// Starts a daemon on an ephemeral port; returns its address and the
+/// serving thread (joined for a clean exit check).
+fn start(config: TraclusConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            traclus: config,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn ingest_request(t: &Trajectory<2>) -> Request {
+    Request::Ingest {
+        points: t
+            .points
+            .iter()
+            .map(|p| [p.coords[0], p.coords[1]])
+            .collect(),
+        weight: None,
+    }
+}
+
+fn epoch_of(response: &JsonValue) -> u64 {
+    response
+        .get("epoch")
+        .and_then(JsonValue::as_i64)
+        .and_then(|e| u64::try_from(e).ok())
+        .expect("response carries an epoch")
+}
+
+fn assert_ok(response: &JsonValue) {
+    assert_eq!(
+        response.get("ok"),
+        Some(&JsonValue::Bool(true)),
+        "expected ok response: {}",
+        response.to_compact()
+    );
+}
+
+/// Representative polylines of a batch run, as the exact wire floats.
+fn batch_representatives(config: TraclusConfig, prefix: &[Trajectory<2>]) -> Vec<Polyline> {
+    Traclus::new(config)
+        .run(prefix)
+        .clusters
+        .iter()
+        .map(|c| {
+            c.representative
+                .points
+                .iter()
+                .map(|p| [p.coords[0], p.coords[1]])
+                .collect()
+        })
+        .collect()
+}
+
+/// A cluster's representative as decoded from the wire.
+type Polyline = Vec<[f64; 2]>;
+
+/// Decodes a `representatives` response into polylines.
+fn wire_representatives(response: &JsonValue) -> Vec<Polyline> {
+    response
+        .get("clusters")
+        .and_then(JsonValue::as_array)
+        .expect("clusters array")
+        .iter()
+        .map(|c| {
+            c.get("representative")
+                .and_then(JsonValue::as_array)
+                .expect("representative polyline")
+                .iter()
+                .map(|p| {
+                    let xy = p.as_array().expect("[x, y]");
+                    [xy[0].as_f64().expect("x"), xy[1].as_f64().expect("y")]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn ingest_flush_query_shutdown_round_trip() {
+    let (config, trajectories) = fixture();
+    let (addr, server) = start(config);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Ingest everything on one connection: ids come back dense and ordered.
+    for (k, t) in trajectories.iter().enumerate() {
+        let resp = client.request(&ingest_request(t)).expect("ingest");
+        assert_ok(&resp);
+        assert_eq!(
+            resp.get("trajectory").and_then(JsonValue::as_i64),
+            Some(k as i64),
+            "single-connection ingest assigns dense ordered ids"
+        );
+    }
+
+    // Flush: read-your-writes barrier. After it, stats must cover all.
+    let resp = client.request(&Request::Flush).expect("flush");
+    assert_ok(&resp);
+    let resp = client.request(&Request::Stats).expect("stats");
+    assert_ok(&resp);
+    assert_eq!(
+        resp.get("trajectories").and_then(JsonValue::as_i64),
+        Some(trajectories.len() as i64)
+    );
+    assert_eq!(
+        resp.get("enqueued").and_then(JsonValue::as_i64),
+        Some(trajectories.len() as i64)
+    );
+
+    // The served representatives equal the batch pipeline's, float for
+    // float: values cross the wire via shortest-round-trip Display, so
+    // exact equality is the right assertion.
+    let resp = client.request(&Request::Representatives).expect("reps");
+    assert_ok(&resp);
+    let batch = batch_representatives(config, &trajectories);
+    assert_eq!(wire_representatives(&resp), batch);
+    assert!(!batch.is_empty(), "fixture produces clusters");
+
+    // Membership and region agree with the batch clustering.
+    let batch_run = Traclus::new(config).run(&trajectories);
+    let member = batch_run.clusters[0].cluster.trajectories[0];
+    let resp = client
+        .request(&Request::Membership {
+            trajectory: member.0,
+        })
+        .expect("membership");
+    assert_ok(&resp);
+    let clusters = resp
+        .get("clusters")
+        .and_then(JsonValue::as_array)
+        .expect("clusters");
+    assert!(
+        clusters
+            .iter()
+            .any(|c| c.as_i64() == Some(i64::from(batch_run.clusters[0].cluster.id.0))),
+        "ingested member found in its batch cluster"
+    );
+
+    // Per-request timing annotation is present on every response.
+    assert!(resp.get("micros").and_then(JsonValue::as_i64).is_some());
+
+    // Malformed input on a live connection: typed error, connection and
+    // daemon survive.
+    let resp = client.send_raw("{\"op\": \"ingest\"").expect("raw garbage");
+    assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(false)));
+    assert!(resp.get("error").and_then(JsonValue::as_str).is_some());
+    let resp = client.request(&Request::Stats).expect("still alive");
+    assert_ok(&resp);
+
+    // Graceful shutdown: acknowledged, then the serving thread exits.
+    let resp = client.request(&Request::Shutdown).expect("shutdown");
+    assert_ok(&resp);
+    server
+        .join()
+        .expect("serving thread exits")
+        .expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_readers_observe_only_batch_prefixes() {
+    let (config, trajectories) = fixture();
+    let (addr, server) = start(config);
+
+    // Reader threads hammer `representatives` while the writer ingests.
+    // A response carries the snapshot epoch and the full cluster list but
+    // not the prefix length, so readers record (epoch → polylines) and
+    // the verdict compares each observation against every prefix's batch
+    // output at the end.
+    let done = std::sync::atomic::AtomicBool::new(false);
+    const READERS: usize = 2;
+
+    let observed: Vec<Vec<(u64, Vec<Polyline>)>> = std::thread::scope(|s| {
+        let done = &done;
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            readers.push(s.spawn(move || {
+                let mut client = Client::connect(addr).expect("reader connect");
+                let mut seen: Vec<(u64, Vec<Polyline>)> = Vec::new();
+                loop {
+                    let resp = client
+                        .request(&Request::Representatives)
+                        .expect("representatives");
+                    assert_ok(&resp);
+                    let epoch = epoch_of(&resp);
+                    if seen.last().map(|(e, _)| *e) != Some(epoch) {
+                        seen.push((epoch, wire_representatives(&resp)));
+                    }
+                    if done.load(std::sync::atomic::Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                seen
+            }));
+        }
+
+        let mut writer = Client::connect(addr).expect("writer connect");
+        for t in &trajectories {
+            let resp = writer.request(&ingest_request(t)).expect("ingest");
+            assert_ok(&resp);
+        }
+        let resp = writer.request(&Request::Flush).expect("flush");
+        assert_ok(&resp);
+        done.store(true, std::sync::atomic::Ordering::SeqCst);
+
+        let collected = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader"))
+            .collect();
+        let resp = writer.request(&Request::Shutdown).expect("shutdown");
+        assert_ok(&resp);
+        collected
+    });
+
+    server
+        .join()
+        .expect("serving thread exits")
+        .expect("clean shutdown");
+
+    // Batch representatives for every prefix (including the empty one).
+    let prefixes: Vec<Vec<Polyline>> = (0..=trajectories.len())
+        .map(|k| batch_representatives(config, &trajectories[..k]))
+        .collect();
+
+    let mut matched_nonempty = false;
+    for seen in &observed {
+        for (epoch, polylines) in seen {
+            assert!(
+                prefixes.iter().any(|p| p == polylines),
+                "epoch {epoch}: observed representatives match no batch prefix"
+            );
+            if !polylines.is_empty() {
+                matched_nonempty = true;
+            }
+        }
+        for pair in seen.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "epochs observed in order");
+        }
+    }
+    // The final flushed state is non-empty for this fixture, and the
+    // writer flushed before stopping the readers — so at least one reader
+    // saw a real clustering.
+    assert!(
+        matched_nonempty,
+        "readers observed a non-empty prefix state"
+    );
+}
+
+#[test]
+fn queries_on_an_empty_daemon_are_well_formed() {
+    let (config, _) = fixture();
+    let (addr, server) = start(config);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let resp = client
+        .request(&Request::Nearest { point: [0.0, 0.0] })
+        .expect("nearest");
+    assert_ok(&resp);
+    assert_eq!(resp.get("cluster"), Some(&JsonValue::Null));
+    assert_eq!(resp.get("distance"), Some(&JsonValue::Null));
+
+    let resp = client
+        .request(&Request::Membership { trajectory: 0 })
+        .expect("membership");
+    assert_ok(&resp);
+    assert_eq!(
+        resp.get("clusters")
+            .and_then(JsonValue::as_array)
+            .map(<[_]>::len),
+        Some(0)
+    );
+
+    let resp = client
+        .request(&Request::Region {
+            min: [0.0, 0.0],
+            max: [1.0, 1.0],
+        })
+        .expect("region");
+    assert_ok(&resp);
+    assert_eq!(epoch_of(&resp), 0);
+
+    let resp = client.request(&Request::Shutdown).expect("shutdown");
+    assert_ok(&resp);
+    server.join().expect("join").expect("clean shutdown");
+}

@@ -27,6 +27,11 @@
 //!   quality metrics under the composite distance, a uniform
 //!   cross-algorithm result adapter, and a machine-readable
 //!   TRACLUS-vs-baselines comparison report;
+//! * [`json`] — the dependency-free JSON layer (parse, build, write)
+//!   shared by the eval reports and the serving protocol;
+//! * [`server`] — clustering-as-a-service: a line-delimited JSON
+//!   ingest/query daemon over TCP with snapshot-isolated reads
+//!   ([`core::ClusterSnapshot`] behind a [`core::SnapshotCell`]);
 //! * [`viz`] — SVG rendering of clustering results.
 //!
 //! ## Quickstart
@@ -69,6 +74,8 @@ pub use traclus_data as data;
 pub use traclus_eval as eval;
 pub use traclus_geom as geom;
 pub use traclus_index as index;
+pub use traclus_json as json;
+pub use traclus_server as server;
 pub use traclus_viz as viz;
 
 /// One-stop imports for typical use.
@@ -80,6 +87,7 @@ pub mod prelude {
         quality::QMeasure,
         representative::RepresentativeConfig,
         segment_db::SegmentDatabase,
+        snapshot::{ClusterSnapshot, RegionSummary, SnapshotCell},
         stream::{IncrementalClustering, InsertReport, StreamConfig, StreamStats},
         Traclus, TraclusConfig, TraclusOutcome,
     };
@@ -87,4 +95,6 @@ pub mod prelude {
         AngleMode, DistanceWeights, Point, Point2, Segment, Segment2, SegmentDistance, Trajectory,
         Trajectory2, TrajectoryId,
     };
+    pub use traclus_json::JsonValue;
+    pub use traclus_server::{Client, Request, Server, ServerConfig};
 }
