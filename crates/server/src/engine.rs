@@ -22,7 +22,12 @@ use traclus_geom::{Point2, Trajectory, TrajectoryId};
 /// Work for the engine thread.
 #[derive(Debug)]
 pub enum EngineCommand {
-    /// Apply one trajectory (id assigned at enqueue time, in queue order).
+    /// Apply one trajectory. Ids are daemon-unique (handlers draw them
+    /// from one shared counter, which saturates rather than wraps), but a
+    /// draw and its enqueue are two steps — so with concurrent handlers
+    /// queue order need not match id order, and a snapshot may contain
+    /// id 7 before id 6. Requests on a single connection are serial, so
+    /// ids there come back dense and in order.
     Ingest {
         /// The id the ingest response already reported to the client.
         id: TrajectoryId,

@@ -11,7 +11,7 @@
 //! | `membership`      | `trajectory: id`                  | clusters containing that trajectory |
 //! | `nearest`         | `point: [x,y]`                    | closest cluster + distance to its representative |
 //! | `representatives` | —                                 | every cluster's representative polyline |
-//! | `region`          | `min: [x,y]`, `max: [x,y]`        | clusters crossing the axis-aligned region |
+//! | `region`          | `min: [x,y]`, `max: [x,y]` with `min <= max` componentwise | clusters crossing the axis-aligned region |
 //! | `stats`           | —                                 | engine counters + snapshot epoch |
 //! | `flush`           | —                                 | blocks until every queued ingest is applied and published |
 //! | `shutdown`        | —                                 | acknowledges, then stops the daemon |
@@ -217,6 +217,16 @@ impl Request {
             "region" => {
                 let min = parse_point(required(&value, "region", "min")?, "region", "min")?;
                 let max = parse_point(required(&value, "region", "max")?, "region", "max")?;
+                // The geometry layer's `Aabb::new` asserts min <= max per
+                // dimension; an inverted region from the wire must become
+                // a typed error here, never a panic there.
+                if min[0] > max[0] || min[1] > max[1] {
+                    return Err(ProtocolError::BadField {
+                        op: "region",
+                        field: "min",
+                        expected: "componentwise <= \"max\" (a non-inverted region)",
+                    });
+                }
                 Ok(Request::Region { min, max })
             }
             "stats" => Ok(Request::Stats),
@@ -354,6 +364,29 @@ mod tests {
             Request::parse_line(r#"{"op": "ingest", "points": [], "weight": 0}"#),
             Err(ProtocolError::BadField { .. })
         ));
+        // Inverted regions would trip `Aabb::new`'s assert downstream;
+        // the parser must reject them (in either or both dimensions).
+        for line in [
+            r#"{"op": "region", "min": [1, 0], "max": [0, 0]}"#,
+            r#"{"op": "region", "min": [0, 1], "max": [0, 0]}"#,
+            r#"{"op": "region", "min": [2, 2], "max": [1, 1]}"#,
+        ] {
+            assert!(
+                matches!(
+                    Request::parse_line(line),
+                    Err(ProtocolError::BadField { .. })
+                ),
+                "inverted region must be rejected: {line}"
+            );
+        }
+        // Degenerate (zero-area) regions stay valid.
+        assert_eq!(
+            Request::parse_line(r#"{"op": "region", "min": [1, 1], "max": [1, 1]}"#),
+            Ok(Request::Region {
+                min: [1.0, 1.0],
+                max: [1.0, 1.0]
+            })
+        );
     }
 
     #[test]

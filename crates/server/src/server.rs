@@ -11,6 +11,7 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use traclus_core::{ClusterSnapshot, SnapshotCell, TraclusConfig};
@@ -30,6 +31,10 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// How often idle connection handlers wake to check for shutdown.
     pub poll_interval: Duration,
+    /// Maximum concurrent connections (one handler thread each). At the
+    /// cap the accept loop parks until a handler exits, so excess clients
+    /// queue in the listener backlog instead of spawning threads.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -38,6 +43,7 @@ impl Default for ServerConfig {
             traclus: TraclusConfig::default(),
             queue_depth: 1024,
             poll_interval: Duration::from_millis(100),
+            max_connections: 1024,
         }
     }
 }
@@ -70,6 +76,7 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     engine: EngineThread,
+    max_connections: usize,
 }
 
 impl Server {
@@ -90,6 +97,7 @@ impl Server {
                 poll_interval: config.poll_interval,
             }),
             engine,
+            max_connections: config.max_connections.max(1),
         })
     }
 
@@ -105,15 +113,41 @@ impl Server {
 
     /// Serves until a client sends `shutdown`. Returns after every
     /// connection handler has exited and the engine thread has drained
-    /// its queue.
+    /// its queue — even when the accept loop dies on a fatal error or a
+    /// handler panics, the drain still runs before the failure surfaces.
     pub fn run(self) -> std::io::Result<()> {
-        let addr = self.local_addr();
-        let mut handlers = Vec::new();
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        let mut first_panic = None;
+        let mut fatal = None;
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let stream = stream?;
+            let stream = match stream {
+                Ok(stream) => stream,
+                // A client that gave up mid-handshake or a transient
+                // resource squeeze must not kill the daemon; back off one
+                // poll interval (fd exhaustion clears as handlers exit)
+                // and keep accepting.
+                Err(e) if is_transient_accept_error(&e) => {
+                    std::thread::sleep(self.shared.poll_interval);
+                    continue;
+                }
+                Err(e) => {
+                    fatal = Some(e);
+                    break;
+                }
+            };
+            reap_finished(&mut handlers, &mut first_panic);
+            // Thread-per-connection needs a cap: at the limit, park the
+            // accept loop until a handler exits — excess clients wait in
+            // the listener backlog rather than each getting a thread.
+            while handlers.len() >= self.max_connections
+                && !self.shared.shutdown.load(Ordering::SeqCst)
+            {
+                std::thread::sleep(self.shared.poll_interval);
+                reap_finished(&mut handlers, &mut first_panic);
+            }
             let shared = Arc::clone(&self.shared);
             handlers.push(std::thread::spawn(move || {
                 handle_connection(stream, &shared)
@@ -123,17 +157,59 @@ impl Server {
             }
         }
         drop(self.listener);
-        let _ = addr;
         for h in handlers {
             if let Err(panic) = h.join() {
-                std::panic::resume_unwind(panic);
+                first_panic.get_or_insert(panic);
             }
         }
         // All handlers (and their queue senders' clones) are gone; tell
         // the engine to stop after whatever is still queued.
         let _ = send_command(&self.shared.commands, EngineCommand::Stop);
         self.engine.join();
-        Ok(())
+        // The drain is complete; only now re-raise what went wrong.
+        if let Some(panic) = first_panic {
+            std::panic::resume_unwind(panic);
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Accept errors that mean "this connection attempt failed", not "the
+/// listener is broken": the loop should keep serving through them.
+fn is_transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionAborted
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionRefused
+            | ErrorKind::Interrupted
+            | ErrorKind::WouldBlock
+            | ErrorKind::TimedOut
+    )
+    // EMFILE (24) / ENFILE (23): fd exhaustion has no stable ErrorKind but
+    // clears once connections close, so it is transient too.
+    || matches!(e.raw_os_error(), Some(23 | 24))
+}
+
+/// Joins every handler thread that has already exited, so a long-lived
+/// daemon does not accumulate unbounded `JoinHandle`s. The first panic
+/// payload is kept for re-raising after graceful shutdown completes.
+fn reap_finished(
+    handlers: &mut Vec<JoinHandle<()>>,
+    first_panic: &mut Option<Box<dyn std::any::Any + Send>>,
+) {
+    let mut i = 0;
+    while i < handlers.len() {
+        if handlers[i].is_finished() {
+            if let Err(panic) = handlers.swap_remove(i).join() {
+                first_panic.get_or_insert(panic);
+            }
+        } else {
+            i += 1;
+        }
     }
 }
 
@@ -165,25 +241,31 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => break, // client hung up
+            Ok(0) => break, // client hung up (a stale partial line dies with it)
             Ok(_) => {
-                if line.trim().is_empty() {
-                    continue;
+                // A complete line (or the final unterminated line before
+                // EOF) is in the buffer; clear it only after dispatch, so
+                // nothing accumulated survives into the next request.
+                if !line.trim().is_empty() {
+                    let started = Instant::now();
+                    let (response, shutdown) = dispatch(&line, shared);
+                    let response = with_timing(response, started);
+                    if write_line(&mut writer, &response).is_err() {
+                        break;
+                    }
+                    if shutdown {
+                        wake_accept_loop(shared, reader.get_ref());
+                        break;
+                    }
                 }
-                let started = Instant::now();
-                let (response, shutdown) = dispatch(&line, shared);
-                let response = with_timing(response, started);
-                if write_line(&mut writer, &response).is_err() {
-                    break;
-                }
-                if shutdown {
-                    wake_accept_loop(shared, reader.get_ref());
-                    break;
-                }
+                line.clear();
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // The read timeout is only a shutdown poll, but read_line
+                // may already have appended part of a request before
+                // timing out — keep the buffer intact so a client that
+                // pauses mid-line resumes exactly where it left off.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
@@ -224,7 +306,15 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
     match Request::parse_line(line) {
         Err(e) => (error_response(&e), false),
         Ok(Request::Ingest { points, weight }) => {
-            let id = TrajectoryId(shared.next_id.fetch_add(1, Ordering::SeqCst));
+            // checked_add saturates the counter at u32::MAX instead of
+            // wrapping, which would hand out ids still owned by live
+            // trajectories; at exhaustion further ingests are refused.
+            let id = shared
+                .next_id
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_add(1));
+            let Ok(id) = id.map(TrajectoryId) else {
+                return (error_reply("trajectory id space exhausted"), false);
+            };
             match send_command(
                 &shared.commands,
                 EngineCommand::Ingest { id, points, weight },
@@ -237,7 +327,7 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
                     ]),
                     false,
                 ),
-                Err(msg) => (engine_gone(msg), false),
+                Err(msg) => (error_reply(msg), false),
             }
         }
         Ok(Request::Membership { trajectory }) => {
@@ -347,13 +437,13 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
                 ]),
                 false,
             ),
-            Err(msg) => (engine_gone(msg), false),
+            Err(msg) => (error_reply(msg), false),
         },
         Ok(Request::Shutdown) => (JsonValue::object([("ok", JsonValue::from(true))]), true),
     }
 }
 
-fn engine_gone(msg: &str) -> JsonValue {
+fn error_reply(msg: &str) -> JsonValue {
     JsonValue::object([
         ("ok", JsonValue::from(false)),
         ("error", JsonValue::from(msg)),

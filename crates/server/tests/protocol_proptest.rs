@@ -56,6 +56,17 @@ impl Strategy for ArbRequest {
     }
 }
 
+/// Corner pairs for `region` lines — deliberately unordered, so roughly
+/// three in four draws invert at least one dimension.
+struct ArbCorners;
+
+impl Strategy for ArbCorners {
+    type Value = ([f64; 2], [f64; 2]);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (arb_point(rng), arb_point(rng))
+    }
+}
+
 /// Lines dense in almost-valid requests: protocol keywords, JSON
 /// punctuation, numbers, and junk.
 struct RequestSoup;
@@ -113,6 +124,28 @@ proptest! {
         prop_assert!(!line.contains('\n'), "wire lines are single lines: {line:?}");
         let parsed = Request::parse_line(&line);
         prop_assert_eq!(parsed.as_ref(), Ok(&request), "line: {}", line);
+    }
+
+    #[test]
+    fn region_bounds_are_validated_at_parse(corners in ArbCorners) {
+        let (min, max) = corners;
+        // `Aabb::new` asserts min <= max per dimension, so the parser must
+        // reject inverted corners with a typed error — untrusted wire
+        // input can never reach that assert.
+        let line = format!(
+            "{{\"op\": \"region\", \"min\": [{}, {}], \"max\": [{}, {}]}}",
+            min[0], min[1], max[0], max[1]
+        );
+        let parsed = Request::parse_line(&line);
+        if min[0] <= max[0] && min[1] <= max[1] {
+            prop_assert_eq!(parsed, Ok(Request::Region { min, max }));
+        } else {
+            prop_assert!(
+                matches!(parsed, Err(ProtocolError::BadField { .. })),
+                "inverted region must parse to BadField: {}",
+                line
+            );
+        }
     }
 
     #[test]

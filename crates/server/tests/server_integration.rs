@@ -181,6 +181,16 @@ fn ingest_flush_query_shutdown_round_trip() {
     let resp = client.request(&Request::Stats).expect("still alive");
     assert_ok(&resp);
 
+    // An inverted region is rejected at parse — the handler never reaches
+    // `Aabb::new`'s min <= max assert, so the connection stays up.
+    let resp = client
+        .send_raw("{\"op\": \"region\", \"min\": [1, 0], \"max\": [0, 0]}")
+        .expect("inverted region");
+    assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(false)));
+    assert!(resp.get("error").and_then(JsonValue::as_str).is_some());
+    let resp = client.request(&Request::Stats).expect("still alive");
+    assert_ok(&resp);
+
     // Graceful shutdown: acknowledged, then the serving thread exits.
     let resp = client.request(&Request::Shutdown).expect("shutdown");
     assert_ok(&resp);
@@ -210,7 +220,16 @@ fn concurrent_readers_observe_only_batch_prefixes() {
             readers.push(s.spawn(move || {
                 let mut client = Client::connect(addr).expect("reader connect");
                 let mut seen: Vec<(u64, Vec<Polyline>)> = Vec::new();
+                let mut last_round = false;
                 loop {
+                    // Check the flag *before* requesting: the final
+                    // request is then issued after the writer's flush
+                    // barrier, so every reader records the fully-applied
+                    // state at least once (a post-request check could
+                    // break with only pre-flush observations recorded).
+                    if done.load(std::sync::atomic::Ordering::SeqCst) {
+                        last_round = true;
+                    }
                     let resp = client
                         .request(&Request::Representatives)
                         .expect("representatives");
@@ -219,7 +238,7 @@ fn concurrent_readers_observe_only_batch_prefixes() {
                     if seen.last().map(|(e, _)| *e) != Some(epoch) {
                         seen.push((epoch, wire_representatives(&resp)));
                     }
-                    if done.load(std::sync::atomic::Ordering::SeqCst) {
+                    if last_round {
                         break;
                     }
                 }
@@ -277,6 +296,46 @@ fn concurrent_readers_observe_only_batch_prefixes() {
         matched_nonempty,
         "readers observed a non-empty prefix state"
     );
+}
+
+/// A client that pauses mid-request spans several handler read timeouts;
+/// the partial line must survive the timeouts and parse as one request
+/// once the tail arrives (regression: the handler used to clear its
+/// buffer every iteration, discarding bytes read before a timeout).
+#[test]
+fn requests_paused_mid_line_survive_read_timeouts() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (config, _) = fixture();
+    let (addr, server) = start(config);
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let line = "{\"op\": \"stats\"}\n";
+    let (head, tail) = line.split_at(8);
+    stream.write_all(head.as_bytes()).expect("head");
+    stream.flush().expect("flush head");
+    // Several handler poll intervals (default 100ms) elapse mid-line.
+    std::thread::sleep(std::time::Duration::from_millis(350));
+    stream.write_all(tail.as_bytes()).expect("tail");
+    stream.flush().expect("flush tail");
+
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response");
+    let value = JsonValue::parse(&response).expect("response is JSON");
+    assert_eq!(
+        value.get("ok"),
+        Some(&JsonValue::Bool(true)),
+        "split request must parse as one stats request: {response}"
+    );
+    assert!(value.get("trajectories").is_some());
+
+    stream
+        .write_all(b"{\"op\": \"shutdown\"}\n")
+        .expect("shutdown");
+    response.clear();
+    reader.read_line(&mut response).expect("shutdown ack");
+    server.join().expect("join").expect("clean shutdown");
 }
 
 #[test]
