@@ -10,7 +10,7 @@ use traclus_core::{
     SegmentDatabase, SnapshotCell, StreamConfig, Traclus, TraclusConfig,
 };
 use traclus_data::{HurricaneConfig, HurricaneGenerator};
-use traclus_geom::{SegmentDistance, Trajectory};
+use traclus_geom::{SegmentDistance, Trajectory, TrajectoryId};
 
 fn bench_cluster(c: &mut Criterion) {
     for (kind, label) in [
@@ -149,12 +149,98 @@ fn bench_stream_insert(c: &mut Criterion) {
                 let config = TraclusConfig {
                     stream: StreamConfig {
                         rebuild_threshold: threshold,
+                        ..StreamConfig::default()
                     },
                     ..config
                 };
                 b.iter(|| ingest(config, &dataset))
             },
         );
+    }
+    group.finish();
+}
+
+/// Sliding-window decremental costs.
+///
+/// Two sweeps:
+///
+/// * steady-state windowed ingest — a 128-storm stream pushed through a
+///   capacity-bounded window (16 / 32 / 64 live trajectories), so every
+///   insertion past the warm-up also pays one oldest-trajectory expiry;
+///   compare against the unbounded `stream_ingest_hurricane` arms for the
+///   price of keeping the window trimmed;
+/// * a single explicit removal out of a steady 64-storm window, at the
+///   default dirty-region threshold (free to fall back to the full
+///   re-cluster) versus a threshold of 10 (pinned to scoped local
+///   repair) — the engine clone inside the loop is shared overhead of
+///   both arms, so their *difference* isolates repair vs rebuild.
+fn bench_sliding_window(c: &mut Criterion) {
+    let storms = |tracks: usize| -> Vec<Trajectory<2>> {
+        HurricaneGenerator::new(HurricaneConfig {
+            tracks,
+            seed: 2007,
+            ..HurricaneConfig::default()
+        })
+        .generate()
+    };
+    let base = TraclusConfig {
+        eps: 5.0,
+        min_lns: 5,
+        ..TraclusConfig::default()
+    };
+
+    let dataset = storms(128);
+    let mut group = c.benchmark_group("cluster/stream_sliding_window");
+    group.sample_size(10);
+    for capacity in [16usize, 32, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &dataset,
+            |b, dataset| {
+                let config = TraclusConfig {
+                    stream: StreamConfig {
+                        capacity: Some(capacity),
+                        ..StreamConfig::default()
+                    },
+                    ..base
+                };
+                b.iter(|| {
+                    let mut engine: IncrementalClustering<2> = Traclus::new(config).stream();
+                    for tr in dataset {
+                        engine.insert(tr);
+                    }
+                    engine.snapshot()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let dataset = storms(64);
+    let mut group = c.benchmark_group("cluster/stream_remove");
+    group.sample_size(10);
+    for (threshold, label) in [(0.25f64, "rebuild-allowed"), (10.0, "repair-pinned")] {
+        let config = TraclusConfig {
+            stream: StreamConfig {
+                rebuild_threshold: threshold,
+                ..StreamConfig::default()
+            },
+            ..base
+        };
+        let mut engine: IncrementalClustering<2> = Traclus::new(config).stream();
+        for tr in &dataset {
+            engine.insert(tr);
+        }
+        let ids: Vec<TrajectoryId> = dataset.iter().map(|t| t.id).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &engine, |b, engine| {
+            let mut k = 0usize;
+            b.iter(|| {
+                let mut live = engine.clone();
+                let id = ids[k % ids.len()];
+                k += 1;
+                live.remove_trajectory(id)
+            })
+        });
     }
     group.finish();
 }
@@ -214,6 +300,7 @@ criterion_group!(
     bench_cluster,
     bench_cluster_parallel,
     bench_stream_insert,
+    bench_sliding_window,
     bench_snapshot_publish
 );
 criterion_main!(benches);

@@ -14,8 +14,12 @@
 //! * an incrementally grown spatial index answers exactly like a full
 //!   scan (a stale or mis-inserted entry would corrupt ε-neighborhoods
 //!   long before any test compares clusterings);
-//! * at sampled points of a stream, `snapshot()` still equals the batch
-//!   run (a cheap in-process spot check of the headline guarantee).
+//! * a decrementally shrunk database keeps its tombstone flags, cached
+//!   live count, and dense compaction mutually coherent (the live-window
+//!   batch comparison is only meaningful if compaction is faithful);
+//! * at sampled points of a stream — and after **every** removal —
+//!   `snapshot()` still equals the batch run over the live window (a cheap
+//!   in-process spot check of the headline guarantee).
 //!
 //! The checkers are plain `assert!`s: with the feature off they do not
 //! exist and the hot paths carry zero overhead; with it on, the regular
@@ -74,7 +78,8 @@ mod tests {
 
     /// Drives every checker through the streaming engine with each index
     /// kind — including the power-of-two snapshot==batch samples at 1, 2,
-    /// 4, and 8 trajectories — so the sanitizer pass runs even if the
+    /// 4, and 8 trajectories, and the per-removal snapshot==batch check of
+    /// the decremental sanitizer — so the sanitizer pass runs even if the
     /// broader suites are filtered.
     #[test]
     fn checkers_pass_on_a_streamed_corridor() {
@@ -95,7 +100,55 @@ mod tests {
                 ));
             }
             assert!(!engine.snapshot().clusters.is_empty());
+            // Decremental pass: every removal runs the post-removal
+            // sanitizer (tombstone coherence, scoped union-find, shrunk
+            // index vs full scan, snapshot == live-window batch).
+            for i in [4u32, 0, 8] {
+                let report = engine.remove_trajectory(TrajectoryId(i));
+                assert_eq!(report.removed_trajectories, 1, "{index:?} tr {i}");
+            }
+            assert_eq!(engine.live_trajectories(), 6);
         }
+    }
+}
+
+/// Asserts the tombstone bookkeeping of a decrementally shrunk database is
+/// coherent: the cached live count matches the flags, and
+/// [`SegmentDatabase::compact_live`] reproduces exactly the live segments
+/// in ascending-id order under densely reassigned ids — the contract that
+/// lets `snapshot()` compare label-for-label against a batch run over the
+/// surviving window.
+pub(crate) fn assert_tombstones_coherent<const D: usize>(db: &SegmentDatabase<D>, context: &str) {
+    let flagged = (0..db.len() as u32).filter(|&id| db.is_live(id)).count();
+    assert!(
+        flagged == db.live_len(),
+        "invariant-checks[{context}]: cached live count {} != {flagged} set \
+         tombstone flags",
+        db.live_len()
+    );
+    let compact = db.compact_live();
+    assert!(
+        compact.len() == db.live_len() && compact.live_len() == compact.len(),
+        "invariant-checks[{context}]: compact_live holds {} segments, \
+         expected {}",
+        compact.len(),
+        db.live_len()
+    );
+    let mut dense = 0u32;
+    for id in 0..db.len() as u32 {
+        if !db.is_live(id) {
+            continue;
+        }
+        let (sparse, packed) = (db.segment(id), compact.segment(dense));
+        assert!(
+            packed.id.0 == dense
+                && sparse.trajectory == packed.trajectory
+                && sparse.segment == packed.segment
+                && sparse.weight == packed.weight,
+            "invariant-checks[{context}]: compact_live slot {dense} diverged \
+             from live segment {id}"
+        );
+        dense += 1;
     }
 }
 

@@ -73,7 +73,7 @@ pub use segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
 pub use shard::ShardPlan;
 pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
 pub use snapshot::{ClusterSnapshot, RegionSummary, SnapshotCell};
-pub use stream::{IncrementalClustering, InsertReport, StreamConfig, StreamStats};
+pub use stream::{IncrementalClustering, InsertReport, RemoveReport, StreamConfig, StreamStats};
 
 /// End-to-end configuration of the TRACLUS pipeline (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq)]

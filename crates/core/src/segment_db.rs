@@ -62,6 +62,26 @@ impl<const D: usize> NeighborIndex<D> {
             IndexImpl::RTree(t) => t.insert(id, *bbox),
         }
     }
+
+    /// Deregisters one removed segment so subsequent queries no longer see
+    /// it — the decremental counterpart of [`Self::insert`]. `bbox` must be
+    /// the box the segment was registered under (it guides the R-tree
+    /// descent). Linear scans need no action here; the database's own
+    /// tombstone flags keep dead segments out of full scans.
+    ///
+    /// Must be called once per segment retired via
+    /// [`SegmentDatabase::remove_segment`], before the next query.
+    pub fn remove(&mut self, id: u32, bbox: &Aabb<D>) {
+        match &mut self.imp {
+            IndexImpl::Linear => {}
+            IndexImpl::Grid(g) => {
+                g.remove(id);
+            }
+            IndexImpl::RTree(t) => {
+                t.remove(id, bbox);
+            }
+        }
+    }
 }
 
 /// The segment database: segments + cached geometry + the distance
@@ -72,11 +92,23 @@ impl<const D: usize> NeighborIndex<D> {
 /// once at construction, so ε-neighborhood refinement runs the batched
 /// `distance_many` kernel instead of re-deriving projection setup from raw
 /// endpoints on every pair.
+/// Removal is tombstone-based: [`Self::remove_segment`] marks a segment
+/// dead without disturbing the dense id space (labels, counts, and the
+/// union-find in `traclus-core::stream` are all indexed by id). Dead
+/// segments keep their geometry — a removal repair still needs to ask
+/// "who was near the departed segment?" — but drop out of every
+/// neighborhood query, the database bounding box, and freshly built
+/// indexes. [`Self::compact_live`] produces the dense, all-live database
+/// the batch pipeline would build over the surviving window.
 #[derive(Clone)]
 pub struct SegmentDatabase<const D: usize> {
     segments: Vec<IdentifiedSegment<D>>,
     soa: SegmentSoa<D>,
     bboxes: Vec<Aabb<D>>,
+    /// Tombstone flags: `alive[id]` is cleared by [`Self::remove_segment`].
+    alive: Vec<bool>,
+    /// Count of set flags in `alive`.
+    live: usize,
     distance: SegmentDistance,
 }
 
@@ -99,7 +131,10 @@ impl<const D: usize> SegmentDatabase<D> {
         }
         let soa = SegmentSoa::from_segments(segments.iter().map(|s| &s.segment));
         let bboxes = segments.iter().map(|s| s.bounding_box()).collect();
+        let live = segments.len();
         Self {
+            alive: vec![true; live],
+            live,
             segments,
             soa,
             bboxes,
@@ -126,7 +161,57 @@ impl<const D: usize> SegmentDatabase<D> {
             self.soa.push(&s.segment);
             self.bboxes.push(s.bounding_box());
             self.segments.push(s);
+            self.alive.push(true);
+            self.live += 1;
         }
+    }
+
+    /// Tombstones one segment: it vanishes from neighborhood queries, the
+    /// database bounding box, and future [`Self::build_index`] builds, but
+    /// keeps its id slot and geometry (removal repair queries the dead
+    /// segment's old ε-ball, and dense label arrays stay index-aligned).
+    /// Any live [`NeighborIndex`] must be told via [`NeighborIndex::remove`]
+    /// before its next query. Returns whether the segment was live.
+    pub fn remove_segment(&mut self, id: u32) -> bool {
+        let slot = &mut self.alive[id as usize];
+        if !*slot {
+            return false;
+        }
+        *slot = false;
+        self.live -= 1;
+        true
+    }
+
+    /// Whether a segment is live (not tombstoned).
+    pub fn is_live(&self, id: u32) -> bool {
+        self.alive[id as usize]
+    }
+
+    /// Number of live (non-tombstoned) segments.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// A fresh database holding exactly the live segments, re-identified
+    /// densely in ascending-id order — bit-identical to what the batch
+    /// pipeline builds over the surviving trajectories in arrival order
+    /// (per-trajectory partitioning is independent, so compaction and
+    /// re-partitioning agree). Trajectory ids and weights are preserved.
+    pub fn compact_live(&self) -> SegmentDatabase<D> {
+        let segments = self
+            .segments
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &alive)| alive)
+            .enumerate()
+            .map(|(k, (s, _))| IdentifiedSegment {
+                id: traclus_geom::SegmentId(k as u32),
+                trajectory: s.trajectory,
+                segment: s.segment,
+                weight: s.weight,
+            })
+            .collect();
+        Self::from_segments(segments, self.distance)
     }
 
     /// Runs the partitioning phase over `trajectories` and builds the
@@ -139,7 +224,8 @@ impl<const D: usize> SegmentDatabase<D> {
         Self::from_segments(partition_trajectories(partition, trajectories), distance)
     }
 
-    /// Number of segments (`numln`).
+    /// Number of id slots (`numln` over the whole stream — live *and*
+    /// tombstoned segments; see [`Self::live_len`] for the live count).
     pub fn len(&self) -> usize {
         self.segments.len()
     }
@@ -237,7 +323,9 @@ impl<const D: usize> SegmentDatabase<D> {
             self.segments
                 .iter()
                 .zip(&self.bboxes)
-                .map(|(s, b)| (s.id.0, *b))
+                .zip(&self.alive)
+                .filter(|(_, &alive)| alive)
+                .map(|((s, b), _)| (s.id.0, *b))
         };
         let imp = match kind {
             IndexKind::Linear => IndexImpl::Linear,
@@ -269,7 +357,7 @@ impl<const D: usize> SegmentDatabase<D> {
             return None;
         }
         let extent = (0..D).map(|k| bb.max[k] - bb.min[k]).fold(0.0f64, f64::max);
-        let fallback = extent / (self.segments.len() as f64).sqrt().max(1.0);
+        let fallback = extent / (self.live as f64).sqrt().max(1.0);
         (fallback > 0.0 && fallback.is_finite()).then_some(fallback)
     }
 
@@ -289,19 +377,25 @@ impl<const D: usize> SegmentDatabase<D> {
             (IndexImpl::Linear, _) | (_, None) => {
                 // Full scan: either requested or forced by degenerate
                 // weights (no conservative filter exists). The candidate
-                // universe is `0..n` in order, so feed consecutive id
-                // chunks straight into the batched kernel.
+                // universe is the live ids ascending, so pack consecutive
+                // live chunks and feed them to the batched kernel.
                 let n = self.segments.len() as u32;
                 let mut ids = [0u32; REFINE_CHUNK];
                 let mut dists = [0.0f64; REFINE_CHUNK];
-                let mut base = 0u32;
-                while base < n {
-                    let take = REFINE_CHUNK.min((n - base) as usize);
-                    for (k, slot) in ids[..take].iter_mut().enumerate() {
-                        *slot = base + k as u32;
+                let mut take = 0usize;
+                for cand in 0..n {
+                    if !self.alive[cand as usize] {
+                        continue;
                     }
+                    ids[take] = cand;
+                    take += 1;
+                    if take == REFINE_CHUNK {
+                        self.refine_chunk(id, &ids[..take], &mut dists[..take], eps, out);
+                        take = 0;
+                    }
+                }
+                if take > 0 {
                     self.refine_chunk(id, &ids[..take], &mut dists[..take], eps, out);
-                    base += take as u32;
                 }
             }
             (imp, Some(r)) => {
@@ -366,11 +460,13 @@ impl<const D: usize> SegmentDatabase<D> {
         self.segments[id as usize].trajectory
     }
 
-    /// Bounding box of the whole database.
+    /// Bounding box of the live contents of the database.
     pub fn bounding_box(&self) -> Aabb<D> {
         let mut b = Aabb::empty();
-        for bb in &self.bboxes {
-            b.extend(bb);
+        for (bb, &alive) in self.bboxes.iter().zip(&self.alive) {
+            if alive {
+                b.extend(bb);
+            }
         }
         b
     }
@@ -515,6 +611,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn tombstones_drop_out_of_queries_and_builds() {
+        let mut db = sample_db();
+        assert_eq!(db.live_len(), 4);
+        assert!(db.remove_segment(1));
+        assert!(!db.remove_segment(1), "second removal is a no-op");
+        assert_eq!(db.live_len(), 3);
+        assert_eq!(db.len(), 4, "id space keeps the tombstone slot");
+        assert!(!db.is_live(1));
+
+        // Full scans skip the dead segment; the query center may itself be
+        // dead (removal repair asks who was near the departed segment).
+        let linear = db.build_index(IndexKind::Linear, 1.5);
+        assert_eq!(db.neighborhood(&linear, 0, 1.5), vec![0]);
+        assert_eq!(db.neighborhood(&linear, 1, 1.5), vec![0, 2]);
+
+        // Freshly built spatial indexes agree (the dead entry is absent).
+        for kind in [IndexKind::Grid, IndexKind::RTree] {
+            let idx = db.build_index(kind, 1.5);
+            for id in [0u32, 2, 3] {
+                assert_eq!(
+                    db.neighborhood(&idx, id, 1.5),
+                    db.neighborhood(&linear, id, 1.5),
+                    "{kind:?} vs linear for id={id}"
+                );
+            }
+        }
+
+        // A live index tracks removal incrementally.
+        let mut db2 = sample_db();
+        let mut idx = db2.build_index(IndexKind::RTree, 1.5);
+        let bbox = *db2.bbox_of(1);
+        db2.remove_segment(1);
+        idx.remove(1, &bbox);
+        assert_eq!(db2.neighborhood(&idx, 0, 1.5), vec![0]);
+    }
+
+    #[test]
+    fn compact_live_reindexes_densely() {
+        let mut db = sample_db();
+        db.remove_segment(0);
+        db.remove_segment(2);
+        let live = db.compact_live();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live.live_len(), 2);
+        // Survivors keep their order, trajectory ids, and geometry.
+        assert_eq!(live.segment(0).trajectory, TrajectoryId(1));
+        assert_eq!(live.segment(1).trajectory, TrajectoryId(3));
+        assert_eq!(live.segment(0).segment, db.segment(1).segment);
+        assert_eq!(live.segment(1).segment, db.segment(3).segment);
+        assert_eq!(live.segment(0).id, SegmentId(0));
+        assert_eq!(live.segment(1).id, SegmentId(1));
+    }
+
+    #[test]
+    fn bounding_box_shrinks_with_removals() {
+        let mut db = sample_db();
+        let before = db.bounding_box();
+        assert!(before.max[0] >= 110.0, "outlier spans far right");
+        db.remove_segment(3);
+        let after = db.bounding_box();
+        assert!(after.max[0] <= 10.0, "outlier no longer stretches the box");
+        for id in [0, 1, 2] {
+            db.remove_segment(id);
+        }
+        assert!(db.bounding_box().is_empty());
+        assert_eq!(db.live_len(), 0);
     }
 
     #[test]

@@ -100,11 +100,14 @@ impl<const D: usize> ClusterSnapshot<D> {
     /// readers — [`SnapshotCell::publish_from`] does.
     pub fn capture(engine: &IncrementalClustering<D>, epoch: u64) -> Self {
         let clustering = engine.snapshot();
-        let clusters = representatives_for(engine.config(), engine.database(), &clustering);
+        // The clustering is labelled over the live window (dense ids), so
+        // the representative sweep must read the matching live database.
+        let live = engine.live_database();
+        let clusters = representatives_for(engine.config(), &live, &clustering);
         Self {
             epoch,
             trajectories: engine.stats().trajectories,
-            segments: engine.len(),
+            segments: engine.live_len(),
             clustering,
             clusters,
             stats: engine.stats(),

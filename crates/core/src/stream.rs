@@ -55,6 +55,29 @@
 //! Section 4.2 extension puts no sign constraint on weights), the engine
 //! detects the demotion and forces the full re-cluster, because a monotone
 //! union-find cannot un-merge.
+//!
+//! # Decremental operation and the sliding window
+//!
+//! Serving deployments also need trajectories to *leave*: an explicit
+//! retraction ([`IncrementalClustering::remove_trajectory`]) or a sliding
+//! window that ages old data out ([`StreamConfig::time_window`],
+//! [`StreamConfig::capacity`]). Removal is repaired by the mirror-image
+//! scheme: departed segments are tombstoned in the database (the id space
+//! stays dense, so every per-id array keeps its meaning) and deleted from
+//! the live index, the cardinalities of their surviving ε-neighbors are
+//! *recomputed* with fresh whole-window sums (never decremented — repeated
+//! subtraction would drift off the batch bit pattern), and the only
+//! components rebuilt are those that contained a departed or demoted core
+//! — removal never adds ε-edges, so every other component transplants
+//! unchanged into a fresh union-find under its old minimum root, while the
+//! affected components' surviving cores are re-expanded, which reproduces
+//! any split. The same [`StreamConfig::rebuild_threshold`] bounds the
+//! repair: an oversized dirty region (or a weighted-stream core
+//! *promotion*, which repair cannot see) falls back to the full
+//! re-cluster. Either way the headline guarantee is unchanged: after every
+//! operation, [`IncrementalClustering::snapshot`] equals the batch run
+//! over the live window (`crates/core/tests/decremental_equivalence.rs`
+//! drives random insert/remove/expiry interleavings against it).
 
 use traclus_geom::Trajectory;
 
@@ -69,20 +92,40 @@ use crate::{TraclusConfig, TraclusOutcome};
 /// [`TraclusConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
-    /// Dirty-region fraction above which one insertion triggers a full
-    /// re-cluster (and index rebuild) instead of local repair.
+    /// Dirty-region fraction above which one insertion or removal triggers
+    /// a full re-cluster (and index rebuild) instead of local repair.
     ///
-    /// `0.0` re-clusters on every insertion (the naive baseline), values
-    /// `≥ 1.0` never re-cluster; the default `0.25` re-clusters only when a
-    /// single trajectory flips a quarter of the database. The choice never
-    /// affects the resulting clustering, only where the work is spent.
+    /// `0.0` re-clusters on every operation (the naive baseline), values
+    /// `≥ 1.0` essentially never re-cluster; the default `0.25` re-clusters
+    /// only when a single operation dirties a quarter of the live database.
+    /// The choice never affects the resulting clustering, only where the
+    /// work is spent. (For removals the dirty region counts the departed
+    /// segments, their surviving ε-neighbors, and the re-expanded cores of
+    /// split-suspect components — in pathological windows that sum can
+    /// exceed the live count, so a threshold above `1.0` is the way to pin
+    /// the engine to pure local repair in tests.)
     pub rebuild_threshold: f64,
+    /// Sliding time window in logical-clock units: after each insertion,
+    /// trajectories whose age (current clock minus their ingest timestamp)
+    /// has reached the window are expired. [`IncrementalClustering::insert`]
+    /// ticks the clock by one per call, so a window of `w` keeps the `w`
+    /// most recent insertions; [`IncrementalClustering::insert_at`] lets
+    /// the caller supply real (monotone) event times instead. `None`
+    /// disables time-based expiry.
+    pub time_window: Option<u64>,
+    /// Maximum live trajectories: after each insertion the oldest live
+    /// trajectories are expired until at most this many remain. `None`
+    /// disables capacity-based expiry. Both policies may be active; the
+    /// time window is applied first.
+    pub capacity: Option<usize>,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
         Self {
             rebuild_threshold: 0.25,
+            time_window: None,
+            capacity: None,
         }
     }
 }
@@ -96,6 +139,24 @@ pub struct InsertReport {
     /// Existing segments whose core-ness flipped and were re-expanded.
     pub flipped_cores: usize,
     /// Whether the dirty-region threshold forced a full re-cluster.
+    pub rebuilt: bool,
+    /// Trajectories the sliding-window policy expired after this insertion
+    /// ([`StreamConfig::time_window`] / [`StreamConfig::capacity`]).
+    pub expired_trajectories: usize,
+}
+
+/// What one [`IncrementalClustering::remove_trajectory`] (or window
+/// expiry) did, the decremental sibling of [`InsertReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoveReport {
+    /// Live trajectories the operation retired.
+    pub removed_trajectories: usize,
+    /// Segments tombstoned in the database and deleted from the index.
+    pub removed_segments: usize,
+    /// Surviving segments whose core-ness the removal demoted.
+    pub demoted_cores: usize,
+    /// Whether the dirty region (or a weighted-stream core *promotion*)
+    /// forced the full re-cluster fallback instead of local repair.
     pub rebuilt: bool,
 }
 
@@ -112,6 +173,19 @@ pub struct StreamStats {
     pub local_repairs: usize,
     /// Insertions resolved by the full re-cluster fallback.
     pub full_rebuilds: usize,
+    /// Trajectories removed (explicit removals plus window expiry).
+    pub removals: usize,
+    /// The subset of `removals` retired by the sliding-window policy.
+    pub expired: usize,
+    /// Segments tombstoned by removals.
+    pub removed_segments: usize,
+    /// Surviving segments demoted from core by a removal.
+    pub core_demotions: usize,
+    /// Removal operations resolved by scoped local repair — the
+    /// repair-vs-rebuild counter the decremental test harness pins.
+    pub decremental_repairs: usize,
+    /// Removal operations resolved by the full re-cluster fallback.
+    pub decremental_rebuilds: usize,
 }
 
 /// The online TRACLUS engine: accepts one trajectory at a time and keeps
@@ -173,10 +247,35 @@ pub struct IncrementalClustering<const D: usize> {
     dsu: UnionFind,
     /// For each non-core segment: core ids within ε that claim it as a
     /// border member (cleared if the segment later becomes core itself).
+    /// Lists may carry stale entries for cores a removal has since retired
+    /// or demoted; [`Self::snapshot`] filters on the current core flags.
     claims: Vec<Vec<u32>>,
     stats: StreamStats,
+    /// Logical clock: ticks by one per [`Self::insert`], or jumps to the
+    /// caller-supplied (monotone) timestamp in [`Self::insert_at`]. Drives
+    /// [`StreamConfig::time_window`] expiry — no wall clock is ever read.
+    clock: u64,
+    /// Arrival log: one record per segment-producing insertion, in ingest
+    /// order. Removal and expiry mark records dead; the id range each
+    /// record spans is what a removal tombstones.
+    arrivals: Vec<Arrival>,
+    /// Count of live records in `arrivals`.
+    live_arrivals: usize,
     /// Reusable neighborhood scratch.
     scratch: Vec<u32>,
+}
+
+/// One segment-producing insertion in the arrival log.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    trajectory: traclus_geom::TrajectoryId,
+    /// First segment id the insertion appended.
+    first: u32,
+    /// Number of segments appended.
+    count: u32,
+    /// Logical-clock timestamp at ingest.
+    timestamp: u64,
+    live: bool,
 }
 
 /// Claim lists are deduplicated once they outgrow this many entries
@@ -204,6 +303,9 @@ impl<const D: usize> IncrementalClustering<D> {
             dsu: UnionFind::new(0),
             claims: Vec::new(),
             stats: StreamStats::default(),
+            clock: 0,
+            arrivals: Vec::new(),
+            live_arrivals: 0,
             scratch: Vec::new(),
         }
     }
@@ -213,14 +315,45 @@ impl<const D: usize> IncrementalClustering<D> {
         &self.config
     }
 
-    /// The growing segment database (phase 1 output so far).
+    /// The growing segment database (phase 1 output so far), in sparse id
+    /// space: tombstoned segments keep their slots. Use
+    /// [`Self::live_database`] for the dense live-window view the batch
+    /// pipeline would build.
     pub fn database(&self) -> &SegmentDatabase<D> {
         &self.db
     }
 
-    /// Number of segments ingested so far.
+    /// The live window as a dense database — exactly what the batch
+    /// pipeline would build over the surviving trajectories in arrival
+    /// order. Borrowed (free) while nothing has ever been removed, a
+    /// compacting copy otherwise.
+    pub fn live_database(&self) -> std::borrow::Cow<'_, SegmentDatabase<D>> {
+        if self.db.live_len() == self.db.len() {
+            std::borrow::Cow::Borrowed(&self.db)
+        } else {
+            std::borrow::Cow::Owned(self.db.compact_live())
+        }
+    }
+
+    /// Number of segment id slots allocated so far (live plus tombstoned).
     pub fn len(&self) -> usize {
         self.db.len()
+    }
+
+    /// Number of live (not removed or expired) segments.
+    pub fn live_len(&self) -> usize {
+        self.db.live_len()
+    }
+
+    /// Number of live trajectories in the window (segment-producing
+    /// insertions not yet removed or expired).
+    pub fn live_trajectories(&self) -> usize {
+        self.live_arrivals
+    }
+
+    /// The engine's logical clock: the timestamp of the latest insertion.
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// True before the first segment-producing insertion.
@@ -228,24 +361,77 @@ impl<const D: usize> IncrementalClustering<D> {
         self.db.is_empty()
     }
 
-    /// Lifetime counters (trajectories, segments, flips, rebuilds).
+    /// Lifetime counters (trajectories, segments, flips, rebuilds,
+    /// removals).
     pub fn stats(&self) -> StreamStats {
         self.stats
     }
 
-    /// Ingests one trajectory: partitions it (Figure 8), appends and
-    /// indexes its segments, and repairs cluster state — locally when the
-    /// dirty region stays under [`StreamConfig::rebuild_threshold`], by a
-    /// full re-cluster otherwise. Returns what happened.
+    /// Ingests one trajectory at the next logical-clock tick: partitions
+    /// it (Figure 8), appends and indexes its segments, repairs cluster
+    /// state — locally when the dirty region stays under
+    /// [`StreamConfig::rebuild_threshold`], by a full re-cluster otherwise
+    /// — and then applies the sliding-window expiry policy. Returns what
+    /// happened.
     pub fn insert(&mut self, trajectory: &Trajectory<D>) -> InsertReport {
+        let at = self.clock.saturating_add(1);
+        self.insert_at(trajectory, at)
+    }
+
+    /// [`Self::insert`] at a caller-supplied event time, for streams with
+    /// real timestamps. Times must be non-decreasing across calls (the
+    /// sliding window is append-ordered); an earlier timestamp panics.
+    ///
+    /// ```
+    /// use traclus_core::{IncrementalClustering, StreamConfig, TraclusConfig};
+    /// use traclus_geom::{Point2, Trajectory, TrajectoryId};
+    ///
+    /// // Keep one hour of history (timestamps in seconds).
+    /// let config = TraclusConfig {
+    ///     eps: 5.0,
+    ///     min_lns: 3,
+    ///     stream: StreamConfig { time_window: Some(3600), ..StreamConfig::default() },
+    ///     ..TraclusConfig::default()
+    /// };
+    /// let mut engine = IncrementalClustering::<2>::new(config);
+    /// let track = |i: u32| Trajectory::new(
+    ///     TrajectoryId(i),
+    ///     (0..20).map(|k| Point2::xy(k as f64 * 5.0, i as f64 * 0.3)).collect(),
+    /// );
+    /// engine.insert_at(&track(0), 100);
+    /// engine.insert_at(&track(1), 2_000);
+    /// // Two hours later: both earlier tracks age out of the window.
+    /// let report = engine.insert_at(&track(2), 7_300);
+    /// assert_eq!(report.expired_trajectories, 2);
+    /// assert_eq!(engine.live_trajectories(), 1);
+    /// ```
+    pub fn insert_at(&mut self, trajectory: &Trajectory<D>, timestamp: u64) -> InsertReport {
+        assert!(
+            timestamp >= self.clock,
+            "stream timestamps must be non-decreasing"
+        );
+        self.clock = timestamp;
         self.stats.trajectories += 1;
         let first = self.db.len() as u32;
         let segments = partition_trajectory_from(&self.config.partition, trajectory, first);
         let new_count = segments.len();
         self.stats.segments += new_count;
         if new_count == 0 {
-            return InsertReport::default();
+            // Nothing entered the window, but time still advanced.
+            let expired = self.enforce_window();
+            return InsertReport {
+                expired_trajectories: expired,
+                ..InsertReport::default()
+            };
         }
+        self.arrivals.push(Arrival {
+            trajectory: trajectory.id,
+            first,
+            count: new_count as u32,
+            timestamp,
+            live: true,
+        });
+        self.live_arrivals += 1;
         self.db.append_segments(segments);
         let n = self.db.len() as u32;
         for id in first..n {
@@ -307,7 +493,7 @@ impl<const D: usize> IncrementalClustering<D> {
 
         let dirty = new_count + flipped_cores;
         let rebuilt =
-            demoted || (dirty as f64) > self.stream.rebuild_threshold * self.db.len() as f64;
+            demoted || (dirty as f64) > self.stream.rebuild_threshold * self.db.live_len() as f64;
         if rebuilt {
             self.rebuild();
             self.stats.full_rebuilds += 1;
@@ -318,10 +504,12 @@ impl<const D: usize> IncrementalClustering<D> {
         self.stats.core_flips += flipped_cores;
         #[cfg(feature = "invariant-checks")]
         self.debug_check_insert(first, &flips);
+        let expired = self.enforce_window();
         InsertReport {
             new_segments: new_count,
             flipped_cores,
             rebuilt,
+            expired_trajectories: expired,
         }
     }
 
@@ -344,15 +532,50 @@ impl<const D: usize> IncrementalClustering<D> {
             "stream-insert",
         );
         if self.stats.trajectories.is_power_of_two() {
-            let batch = crate::cluster::LineSegmentClustering::new(&self.db, self.cluster).run();
+            let live = self.live_database();
+            let batch = crate::cluster::LineSegmentClustering::new(&live, self.cluster).run();
             assert!(
                 self.snapshot() == batch,
                 "invariant-checks[stream-insert]: snapshot diverged from the \
-                 batch run at {} trajectories / {} segments",
+                 batch run at {} trajectories / {} live segments",
                 self.stats.trajectories,
-                self.db.len()
+                self.db.live_len()
             );
         }
+    }
+
+    /// Post-removal sanitizer pass (`invariant-checks` feature only): the
+    /// decremental siblings of [`Self::debug_check_insert`] — union-find
+    /// canonical form over the repaired components, tombstone bookkeeping,
+    /// incrementally shrunk index vs full scan on the dirty region, and
+    /// the headline decremental guarantee itself: after **every** removal,
+    /// `snapshot()` equals a batch run over the live window.
+    #[cfg(feature = "invariant-checks")]
+    fn debug_check_remove(&self, dirty: &[u32]) {
+        crate::invariants::assert_union_find_canonical(&self.dsu, "stream-remove");
+        crate::invariants::assert_soa_coherent(&self.db, "stream-remove");
+        crate::invariants::assert_tombstones_coherent(&self.db, "stream-remove");
+        let live_dirty: Vec<u32> = dirty
+            .iter()
+            .copied()
+            .filter(|&d| self.db.is_live(d))
+            .collect();
+        crate::invariants::assert_index_consistent(
+            &self.db,
+            &self.index,
+            self.cluster.eps,
+            &live_dirty,
+            "stream-remove",
+        );
+        let live = self.live_database();
+        let batch = crate::cluster::LineSegmentClustering::new(&live, self.cluster).run();
+        assert!(
+            self.snapshot() == batch,
+            "invariant-checks[stream-remove]: snapshot diverged from the \
+             batch run over the live window ({} live segments, {} slots)",
+            self.db.live_len(),
+            self.db.len()
+        );
     }
 
     /// Ingests a whole sequence, returning the number of trajectories.
@@ -366,6 +589,336 @@ impl<const D: usize> IncrementalClustering<D> {
             count += 1;
         }
         count
+    }
+
+    /// Retires every live arrival of trajectory `id` from the window and
+    /// repairs the clustering in place: the departed segments leave the
+    /// database and the spatial index, neighborhood cardinalities across
+    /// the dirty ε-region are recomputed, demoted cores turn back into
+    /// border candidates, and any component the trajectory held together is
+    /// rebuilt from its survivors — splitting it when the removed segments
+    /// were the bridge. Exactness is preserved: the post-removal
+    /// [`Self::snapshot`] equals a batch run over the surviving window,
+    /// label for label.
+    ///
+    /// Removing an id with no live arrivals is a no-op (default report).
+    /// The same trajectory id may be re-inserted later; it gets fresh
+    /// segment ids.
+    ///
+    /// ```
+    /// use traclus_core::{IncrementalClustering, Traclus, TraclusConfig};
+    /// use traclus_geom::{Point2, Trajectory, TrajectoryId};
+    ///
+    /// let track = |i: u32| Trajectory::new(
+    ///     TrajectoryId(i),
+    ///     (0..20).map(|k| Point2::xy(k as f64 * 5.0, i as f64 * 0.4)).collect(),
+    /// );
+    /// let config = TraclusConfig { eps: 3.0, min_lns: 3, ..TraclusConfig::default() };
+    /// let mut engine = IncrementalClustering::<2>::new(config);
+    /// for i in 0..6 {
+    ///     engine.insert(&track(i));
+    /// }
+    ///
+    /// let report = engine.remove_trajectory(TrajectoryId(2));
+    /// assert_eq!(report.removed_trajectories, 1);
+    /// assert_eq!(engine.live_trajectories(), 5);
+    ///
+    /// // Exactness: the snapshot equals the batch run without track 2.
+    /// let survivors: Vec<_> = (0..6).filter(|&i| i != 2).map(track).collect();
+    /// let batch = Traclus::new(config).run(&survivors);
+    /// assert_eq!(engine.snapshot(), batch.clustering);
+    /// ```
+    pub fn remove_trajectory(&mut self, id: traclus_geom::TrajectoryId) -> RemoveReport {
+        let kill: Vec<usize> = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.live && a.trajectory == id)
+            .map(|(k, _)| k)
+            .collect();
+        self.remove_arrivals(kill)
+    }
+
+    /// Expires every live trajectory whose ingest timestamp is strictly
+    /// before `cutoff` — the explicit form of [`StreamConfig::time_window`]
+    /// expiry, for callers driving the window themselves.
+    pub fn expire_older_than(&mut self, cutoff: u64) -> RemoveReport {
+        let kill: Vec<usize> = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.live && a.timestamp < cutoff)
+            .map(|(k, _)| k)
+            .collect();
+        let report = self.remove_arrivals(kill);
+        self.stats.expired += report.removed_trajectories;
+        report
+    }
+
+    /// Expires the oldest live trajectories until at most `keep` remain —
+    /// the explicit form of [`StreamConfig::capacity`] expiry.
+    pub fn expire_to_capacity(&mut self, keep: usize) -> RemoveReport {
+        let excess = self.live_arrivals.saturating_sub(keep);
+        let kill: Vec<usize> = self
+            .arrivals
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.live)
+            .map(|(k, _)| k)
+            .take(excess)
+            .collect();
+        let report = self.remove_arrivals(kill);
+        self.stats.expired += report.removed_trajectories;
+        report
+    }
+
+    /// Applies the configured sliding-window policy after an insertion:
+    /// ages out trajectories past [`StreamConfig::time_window`], then
+    /// retires oldest-first down to [`StreamConfig::capacity`]. One batched
+    /// removal covers both. Returns the number of expired trajectories.
+    fn enforce_window(&mut self) -> usize {
+        if self.stream.time_window.is_none() && self.stream.capacity.is_none() {
+            return 0;
+        }
+        let mut kill: Vec<usize> = Vec::new();
+        let mut survivors = self.live_arrivals;
+        for (k, a) in self.arrivals.iter().enumerate() {
+            if !a.live {
+                continue;
+            }
+            let aged_out = self
+                .stream
+                .time_window
+                .is_some_and(|w| self.clock.saturating_sub(a.timestamp) >= w);
+            let over_capacity = self.stream.capacity.is_some_and(|cap| survivors > cap);
+            if !(aged_out || over_capacity) {
+                // Timestamps are non-decreasing, so the expirable live
+                // arrivals form a prefix; nothing later can age out either.
+                break;
+            }
+            kill.push(k);
+            survivors -= 1;
+        }
+        let report = self.remove_arrivals(kill);
+        self.stats.expired += report.removed_trajectories;
+        report.removed_trajectories
+    }
+
+    /// Marks the selected live arrivals dead and repairs the clustering in
+    /// one batched removal. `kill` holds indexes into `arrivals`, ascending.
+    fn remove_arrivals(&mut self, kill: Vec<usize>) -> RemoveReport {
+        if kill.is_empty() {
+            return RemoveReport::default();
+        }
+        let mut removed: Vec<u32> = Vec::new();
+        for &k in &kill {
+            let a = &mut self.arrivals[k];
+            debug_assert!(a.live, "killing an already-dead arrival");
+            a.live = false;
+            removed.extend(a.first..a.first + a.count);
+        }
+        self.live_arrivals -= kill.len();
+        // Arrivals hold disjoint ascending id ranges, so `removed` is
+        // already sorted and duplicate-free.
+        debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+        self.apply_removal(kill.len(), removed)
+    }
+
+    /// The decremental workhorse: tombstones and unindexes the departing
+    /// segments, recomputes the dirty ε-region's cardinalities with fresh
+    /// whole-window sums (never incremental subtraction, which would drift
+    /// off the batch bit pattern), and repairs the component structure —
+    /// scoped local repair when the dirty region stays under
+    /// [`StreamConfig::rebuild_threshold`], the full re-cluster fallback
+    /// otherwise.
+    fn apply_removal(&mut self, removed_trajectories: usize, removed: Vec<u32>) -> RemoveReport {
+        self.stats.removals += removed_trajectories;
+        self.stats.removed_segments += removed.len();
+
+        // 1. Tombstone + unindex every departing segment first, so the
+        //    ε-queries below see exactly the post-removal window.
+        for &r in &removed {
+            let was_live = self.db.remove_segment(r);
+            debug_assert!(was_live, "removing a dead segment");
+            let bbox = *self.db.bbox_of(r);
+            self.index.remove(r, &bbox);
+        }
+
+        // 2. Dirty region: the surviving ε-neighbors of the departed
+        //    segments (a dead center keeps its geometry; candidates are
+        //    live-only). While visiting, scrub departed core ids from their
+        //    neighbours' claim lists — the snapshot would filter them
+        //    anyway, retention just bounds memory.
+        let mut dirty: Vec<u32> = Vec::new();
+        for &r in &removed {
+            self.db
+                .neighborhood_into(&self.index, r, self.cluster.eps, &mut self.scratch);
+            let hood = std::mem::take(&mut self.scratch);
+            for &m in &hood {
+                dirty.push(m);
+                if self.core[r as usize] && !self.core[m as usize] {
+                    self.claims[m as usize].retain(|&c| c != r);
+                }
+            }
+            self.scratch = hood;
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        // 3. Recompute the dirty cardinalities in ascending id order — the
+        //    accumulation order the batch pass uses, so the sums stay
+        //    bit-identical. Collect core demotions; a promotion (possible
+        //    only with negative weights) defeats the scoped repair.
+        let mut demoted: Vec<u32> = Vec::new();
+        let mut promoted = false;
+        for &d in &dirty {
+            self.db
+                .neighborhood_into(&self.index, d, self.cluster.eps, &mut self.scratch);
+            self.counts[d as usize] = self
+                .db
+                .neighborhood_cardinality(&self.scratch, self.cluster.weighted);
+            let is_core_now = self.counts[d as usize] >= self.cluster.min_lns;
+            match (self.core[d as usize], is_core_now) {
+                (true, false) => demoted.push(d),
+                (false, true) => promoted = true,
+                _ => {}
+            }
+        }
+
+        // 4. Affected components: any old component holding a departed or
+        //    demoted core may have split and must be rebuilt from its
+        //    survivors. Every other component is untouched — removal never
+        //    adds ε-edges, so no cross-component merge can be pending.
+        //    Roots are read before any core flag changes.
+        let mut affected_roots: Vec<u32> = Vec::new();
+        for &r in &removed {
+            if self.core[r as usize] {
+                affected_roots.push(self.dsu.find_readonly(r));
+            }
+        }
+        for &d in &demoted {
+            affected_roots.push(self.dsu.find_readonly(d));
+        }
+        affected_roots.sort_unstable();
+        affected_roots.dedup();
+
+        // 5. Partition the surviving cores: members of affected components
+        //    get re-expanded; the rest transplant wholesale, grouped by
+        //    their old root.
+        let mut affected_cores: Vec<u32> = Vec::new();
+        let mut keep: Vec<(u32, u32)> = Vec::new();
+        for id in 0..self.db.len() as u32 {
+            if !self.core[id as usize] || !self.db.is_live(id) || demoted.binary_search(&id).is_ok()
+            {
+                continue;
+            }
+            let root = self.dsu.find_readonly(id);
+            if affected_roots.binary_search(&root).is_ok() {
+                affected_cores.push(id);
+            } else {
+                keep.push((root, id));
+            }
+        }
+
+        // 6. Repair or rebuild. The departed segments' clustering state is
+        //    retired either way.
+        let work = removed.len() + dirty.len() + affected_cores.len();
+        let rebuilt = promoted
+            || (work as f64) > self.stream.rebuild_threshold * self.db.live_len().max(1) as f64;
+        for &r in &removed {
+            self.core[r as usize] = false;
+            self.counts[r as usize] = 0.0;
+            self.claims[r as usize] = Vec::new();
+        }
+        if rebuilt {
+            self.rebuild();
+            self.stats.decremental_rebuilds += 1;
+        } else {
+            self.repair_removal(&demoted, &keep, &affected_cores);
+            self.stats.decremental_repairs += 1;
+        }
+        self.stats.core_demotions += demoted.len();
+        let report = RemoveReport {
+            removed_trajectories,
+            removed_segments: removed.len(),
+            demoted_cores: demoted.len(),
+            rebuilt,
+        };
+        #[cfg(feature = "invariant-checks")]
+        {
+            let mut check = dirty;
+            check.extend_from_slice(&removed);
+            self.debug_check_remove(&check);
+        }
+        report
+    }
+
+    /// Scoped decremental repair: a fresh union-find where unaffected
+    /// components transplant wholesale under their old minimum root,
+    /// demoted cores turn into border candidates with freshly computed
+    /// claim lists, and the surviving cores of affected components are
+    /// re-expanded from scratch — the same min-root rules as
+    /// [`crate::shard`], confined to the components the removal could have
+    /// split.
+    fn repair_removal(&mut self, demoted: &[u32], keep: &[(u32, u32)], affected_cores: &[u32]) {
+        // All demotions land before any claim list is derived, so the core
+        // flags each derivation reads are final.
+        for &d in demoted {
+            self.core[d as usize] = false;
+        }
+        for &d in demoted {
+            self.db
+                .neighborhood_into(&self.index, d, self.cluster.eps, &mut self.scratch);
+            let hood = std::mem::take(&mut self.scratch);
+            // A demoted core becomes a border candidate: its claims are
+            // exactly its surviving core neighbours (its old list is empty
+            // — it was core). Conversely its non-core neighbours may hold
+            // claims on it; scrub those.
+            let mut claims = Vec::new();
+            for &m in &hood {
+                if m == d {
+                    continue;
+                }
+                if self.core[m as usize] {
+                    claims.push(m);
+                } else {
+                    self.claims[m as usize].retain(|&c| c != d);
+                }
+            }
+            self.claims[d as usize] = claims;
+            self.scratch = hood;
+        }
+
+        // Fresh union-find; transplant the unaffected components. `keep`
+        // was gathered in ascending id order, so after the (root, id) sort
+        // each group's first member is its minimum surviving core — the
+        // root the batch pass would seed the component with.
+        self.dsu = UnionFind::new(self.db.len() as u32);
+        let mut keep = keep.to_vec();
+        keep.sort_unstable();
+        let mut k = 0;
+        while k < keep.len() {
+            let (root, anchor) = keep[k];
+            let mut j = k + 1;
+            while j < keep.len() && keep[j].0 == root {
+                self.dsu.union(anchor, keep[j].1);
+                j += 1;
+            }
+            k = j;
+        }
+
+        // Re-expand every surviving core of an affected component with a
+        // fresh ε-query: their mutual unions rebuild exactly the
+        // post-removal connectivity (splits fall out naturally), and their
+        // claims re-land on bordering non-cores (duplicates are harmless —
+        // the snapshot takes a min over live core claims).
+        for &c in affected_cores {
+            self.db
+                .neighborhood_into(&self.index, c, self.cluster.eps, &mut self.scratch);
+            let hood = std::mem::take(&mut self.scratch);
+            self.expand_core(c, &hood);
+            self.scratch = hood;
+        }
     }
 
     /// Local repair: mark the new core flags, then re-expand exactly the
@@ -442,6 +995,12 @@ impl<const D: usize> IncrementalClustering<D> {
         self.index = self.db.build_index(self.cluster.index, self.cluster.eps);
         self.dsu = UnionFind::new(n);
         for id in 0..n {
+            if !self.db.is_live(id) {
+                self.counts[id as usize] = 0.0;
+                self.core[id as usize] = false;
+                self.claims[id as usize] = Vec::new();
+                continue;
+            }
             self.db
                 .neighborhood_into(&self.index, id, self.cluster.eps, &mut self.scratch);
             self.counts[id as usize] = self
@@ -472,32 +1031,44 @@ impl<const D: usize> IncrementalClustering<D> {
     pub fn snapshot(&self) -> Clustering {
         let n = self.db.len();
         let mut comp_of_root = vec![u32::MAX; n];
-        let mut raw: Vec<Option<u32>> = vec![None; n];
+        let mut raw: Vec<Option<u32>> = vec![None; self.db.live_len()];
         let mut cluster_count = 0u32;
+        // Live ids map to dense ranks monotonically, so walking the sparse
+        // id space ascending visits dense slots ascending — components are
+        // numbered in the batch pass's seed order.
+        let mut dense = 0usize;
         for id in 0..n as u32 {
-            if !self.core[id as usize] {
+            if !self.db.is_live(id) {
                 continue;
             }
-            let root = self.dsu.find_readonly(id) as usize;
-            if comp_of_root[root] == u32::MAX {
-                comp_of_root[root] = cluster_count;
-                cluster_count += 1;
+            if self.core[id as usize] {
+                let root = self.dsu.find_readonly(id) as usize;
+                if comp_of_root[root] == u32::MAX {
+                    comp_of_root[root] = cluster_count;
+                    cluster_count += 1;
+                }
+                raw[dense] = Some(comp_of_root[root]);
             }
-            raw[id as usize] = Some(comp_of_root[root]);
+            dense += 1;
         }
+        let mut dense = 0usize;
         for id in 0..n {
-            if self.core[id] || self.claims[id].is_empty() {
+            if !self.db.is_live(id as u32) {
                 continue;
             }
-            let comp = self.claims[id]
-                .iter()
-                .map(|&c| comp_of_root[self.dsu.find_readonly(c) as usize])
-                .min()
-                .expect("non-empty claim list");
-            raw[id] = Some(comp);
+            if !self.core[id] {
+                // Claim lists may carry cores a removal has retired or
+                // demoted since; only currently live core claims count.
+                raw[dense] = self.claims[id]
+                    .iter()
+                    .filter(|&&c| self.core[c as usize])
+                    .map(|&c| comp_of_root[self.dsu.find_readonly(c) as usize])
+                    .min();
+            }
+            dense += 1;
         }
         finalize_raw(
-            &self.db,
+            &self.live_database(),
             &raw,
             cluster_count,
             self.cluster.trajectory_threshold(),
@@ -506,11 +1077,16 @@ impl<const D: usize> IncrementalClustering<D> {
 
     /// Consumes the engine and returns the full pipeline outcome — the
     /// current clustering plus one representative trajectory per cluster,
-    /// exactly as [`crate::Traclus::run`] would deliver for the ingested
-    /// trajectories.
+    /// exactly as [`crate::Traclus::run`] would deliver for the live
+    /// window's trajectories.
     pub fn finish(self) -> TraclusOutcome<D> {
         let clustering = self.snapshot();
-        crate::attach_representatives(&self.config, self.db, clustering)
+        let db = if self.db.live_len() == self.db.len() {
+            self.db
+        } else {
+            self.db.compact_live()
+        };
+        crate::attach_representatives(&self.config, db, clustering)
     }
 }
 
@@ -667,6 +1243,7 @@ mod tests {
             let cfg = TraclusConfig {
                 stream: StreamConfig {
                     rebuild_threshold: threshold,
+                    ..StreamConfig::default()
                 },
                 ..base
             };
@@ -691,6 +1268,169 @@ mod tests {
         assert_eq!(snapshots[0], snapshots[1]);
         assert_eq!(snapshots[0], snapshots[2]);
         assert_eq!(snapshots[0], batch_clustering(&base, &trajectories));
+    }
+
+    #[test]
+    fn removal_matches_batch_on_live_window() {
+        let trajectories: Vec<Trajectory<2>> =
+            (0..7).map(|i| corridor(i, i as f64 * 0.4, 20)).collect();
+        let cfg = config(3.0, 3);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.extend(&trajectories);
+        // Remove from the middle, the front, and the back; after every
+        // removal the snapshot equals the batch run on the survivors.
+        let mut live = trajectories.clone();
+        for id in [3u32, 0, 6] {
+            let report = engine.remove_trajectory(TrajectoryId(id));
+            assert_eq!(report.removed_trajectories, 1);
+            assert!(report.removed_segments > 0);
+            live.retain(|t| t.id != TrajectoryId(id));
+            assert_eq!(
+                engine.snapshot(),
+                batch_clustering(&cfg, &live),
+                "after removing {id}"
+            );
+        }
+        assert_eq!(engine.live_trajectories(), 4);
+        assert_eq!(engine.stats().removals, 3);
+        // Unknown or already-removed trajectories are a no-op.
+        assert_eq!(
+            engine.remove_trajectory(TrajectoryId(3)),
+            RemoveReport::default()
+        );
+    }
+
+    #[test]
+    fn bridge_removal_splits_cluster_via_local_repair() {
+        // Two corridors held together by one bridge trajectory. Removing
+        // the bridge must split the component back in two — through the
+        // scoped repair path, pinned by an unreachable rebuild threshold.
+        let mut trajectories: Vec<Trajectory<2>> = Vec::new();
+        for i in 0..4 {
+            trajectories.push(corridor(i, i as f64 * 0.3, 15));
+        }
+        for i in 0..4 {
+            trajectories.push(corridor(10 + i, 4.0 + i as f64 * 0.3, 15));
+        }
+        trajectories.push(corridor(99, 2.45, 15));
+        let cfg = TraclusConfig {
+            stream: StreamConfig {
+                rebuild_threshold: 10.0,
+                ..StreamConfig::default()
+            },
+            ..config(2.0, 3)
+        };
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.extend(&trajectories);
+        assert_eq!(engine.snapshot().clusters.len(), 1, "bridge merges all");
+
+        let report = engine.remove_trajectory(TrajectoryId(99));
+        assert!(!report.rebuilt, "threshold 10 pins local repair");
+        assert_eq!(engine.stats().decremental_repairs, 1);
+        assert_eq!(engine.stats().decremental_rebuilds, 0);
+        trajectories.pop();
+        let snap = engine.snapshot();
+        assert_eq!(snap.clusters.len(), 2, "removal splits the component");
+        assert_eq!(snap, batch_clustering(&cfg, &trajectories));
+    }
+
+    #[test]
+    fn removal_demotes_cores_to_noise() {
+        // Exactly MinLns corridors: every segment is core. Dropping one
+        // corridor pushes the survivors below the threshold — demotion to
+        // noise, and an empty clustering.
+        let trajectories: Vec<Trajectory<2>> =
+            (0..3).map(|i| corridor(i, i as f64 * 0.3, 15)).collect();
+        let cfg = config(2.0, 3);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.extend(&trajectories);
+        assert!(!engine.snapshot().clusters.is_empty());
+        let report = engine.remove_trajectory(TrajectoryId(1));
+        assert!(report.demoted_cores > 0, "survivors fall below MinLns");
+        assert_eq!(engine.stats().core_demotions, report.demoted_cores);
+        let snap = engine.snapshot();
+        assert!(snap.clusters.is_empty(), "no cores survive");
+        let live = vec![trajectories[0].clone(), trajectories[2].clone()];
+        assert_eq!(snap, batch_clustering(&cfg, &live));
+    }
+
+    #[test]
+    fn removed_trajectory_id_can_be_reinserted() {
+        let cfg = config(3.0, 3);
+        let trajectories: Vec<Trajectory<2>> =
+            (0..5).map(|i| corridor(i, i as f64 * 0.4, 18)).collect();
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        engine.extend(&trajectories);
+        engine.remove_trajectory(TrajectoryId(2));
+        // The trajectory id is reusable; its segments get fresh slots.
+        engine.insert(&trajectories[2]);
+        let mut live = trajectories.clone();
+        live.retain(|t| t.id != TrajectoryId(2));
+        live.push(trajectories[2].clone());
+        assert_eq!(engine.snapshot(), batch_clustering(&cfg, &live));
+        assert_eq!(engine.live_trajectories(), 5);
+    }
+
+    #[test]
+    fn capacity_window_keeps_newest() {
+        let cfg = TraclusConfig {
+            stream: StreamConfig {
+                capacity: Some(3),
+                ..StreamConfig::default()
+            },
+            ..config(3.0, 2)
+        };
+        let trajectories: Vec<Trajectory<2>> =
+            (0..8).map(|i| corridor(i, i as f64 * 0.4, 18)).collect();
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        for (k, t) in trajectories.iter().enumerate() {
+            let report = engine.insert(t);
+            if k >= 3 {
+                assert_eq!(report.expired_trajectories, 1, "one in, one out");
+            }
+            let lo = k.saturating_sub(2);
+            assert_eq!(
+                engine.snapshot(),
+                batch_clustering(&cfg, &trajectories[lo..=k]),
+                "window after insert {k}"
+            );
+        }
+        assert_eq!(engine.live_trajectories(), 3);
+        assert_eq!(engine.stats().expired, 5);
+        assert_eq!(engine.stats().removals, 5);
+    }
+
+    #[test]
+    fn explicit_expiry_helpers() {
+        let cfg = config(3.0, 2);
+        let trajectories: Vec<Trajectory<2>> =
+            (0..6).map(|i| corridor(i, i as f64 * 0.4, 18)).collect();
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        for (k, t) in trajectories.iter().enumerate() {
+            engine.insert_at(t, 10 * (k as u64 + 1));
+        }
+        // Timestamps are 10..=60; cutting below 31 drops the first three.
+        let report = engine.expire_older_than(31);
+        assert_eq!(report.removed_trajectories, 3);
+        assert_eq!(
+            engine.snapshot(),
+            batch_clustering(&cfg, &trajectories[3..])
+        );
+        let report = engine.expire_to_capacity(1);
+        assert_eq!(report.removed_trajectories, 2);
+        assert_eq!(
+            engine.snapshot(),
+            batch_clustering(&cfg, &trajectories[5..])
+        );
+        assert_eq!(engine.stats().expired, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn backwards_timestamps_rejected() {
+        let mut engine = IncrementalClustering::<2>::new(config(3.0, 3));
+        engine.insert_at(&corridor(0, 0.0, 10), 100);
+        engine.insert_at(&corridor(1, 0.4, 10), 99);
     }
 
     #[test]

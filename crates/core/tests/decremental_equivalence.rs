@@ -1,0 +1,369 @@
+//! Exhaustive batch-equivalence harness for the decremental streaming
+//! engine.
+//!
+//! The headline guarantee under test: after **every** operation — insert,
+//! explicit removal, capacity expiry, time-window expiry, in any
+//! interleaving — [`IncrementalClustering::snapshot`] equals the batch
+//! pipeline run over the live window, label for label. The property tests
+//! drive randomized interleavings against a shadow model (the live window
+//! as a plain `Vec<Trajectory>`); the deterministic regressions pin the
+//! structurally interesting repairs — a bridge removal that must *split* a
+//! component through the scoped local-repair path (verified by the
+//! repair-vs-rebuild counters), core demotion down to an empty clustering,
+//! and trajectory-id reuse after removal.
+//!
+//! Every scenario runs at three rebuild thresholds — 0.0 (every operation
+//! falls back to the full re-cluster), the 0.25 default (mixed), and 10.0
+//! (removals pinned to scoped local repair) — so both decremental paths
+//! face the same oracle.
+
+use proptest::prelude::*;
+use traclus_core::{
+    Clustering, IncrementalClustering, RemoveReport, StreamConfig, Traclus, TraclusConfig,
+};
+use traclus_geom::{Point2, Trajectory, TrajectoryId};
+
+/// Thresholds a `threshold_sel in 0..3` parameter indexes into.
+const THRESHOLDS: [f64; 3] = [0.0, 0.25, 10.0];
+
+fn config_with(eps: f64, min_lns: usize, stream: StreamConfig) -> TraclusConfig {
+    TraclusConfig {
+        eps,
+        min_lns,
+        stream,
+        ..TraclusConfig::default()
+    }
+}
+
+/// The oracle: the full batch pipeline over the live window in arrival
+/// order — exactly what the engine's snapshot claims to equal.
+fn batch(config: &TraclusConfig, live: &[Trajectory<2>]) -> Clustering {
+    Traclus::new(*config).run(live).clustering
+}
+
+prop_compose! {
+    /// A pool of jittered corridor trajectories with ids `0..len`: near-
+    /// parallel random walks produce rich overlap structure (clusters,
+    /// borders, noise, bridges) at ε around 2.
+    fn pool()(
+        raw in prop::collection::vec(
+            (
+                -4.0..4.0f64,
+                2.0..6.0f64,
+                prop::collection::vec(-0.8..0.8f64, 4..10),
+            ),
+            3..8,
+        )
+    ) -> Vec<Trajectory<2>> {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (y0, step, jitter))| {
+                Trajectory::new(
+                    TrajectoryId(i as u32),
+                    jitter
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &dy)| Point2::xy(k as f64 * step, y0 + dy))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Random insert / remove / expire-to-capacity interleavings: the
+    // snapshot equals the batch run on the live window after every single
+    // operation, at every rebuild threshold.
+    #[test]
+    fn interleaved_ops_match_batch(
+        pool in pool(),
+        ops in prop::collection::vec((0u8..8, 0usize..64), 4..24),
+        threshold_sel in 0usize..3,
+        eps in 1.5..3.5f64,
+        min_lns in 2usize..4,
+    ) {
+        let config = config_with(eps, min_lns, StreamConfig {
+            rebuild_threshold: THRESHOLDS[threshold_sel],
+            ..StreamConfig::default()
+        });
+        let mut engine = IncrementalClustering::<2>::new(config);
+        let mut model: Vec<Trajectory<2>> = Vec::new();
+        for (step, &(op, pick)) in ops.iter().enumerate() {
+            match op {
+                // Insert (weight 6/8): any pool member, repeats allowed —
+                // a duplicate trajectory id means a later removal retires
+                // several arrivals at once.
+                0..=5 => {
+                    let t = &pool[pick % pool.len()];
+                    engine.insert(t);
+                    model.push(t.clone());
+                }
+                // Remove one live trajectory id (all its arrivals).
+                6 => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let tid = model[pick % model.len()].id;
+                    let report = engine.remove_trajectory(tid);
+                    let before = model.len();
+                    model.retain(|t| t.id != tid);
+                    // Arrivals that produced no segments are not tracked
+                    // by the engine, so its count may undershoot the
+                    // model's — never overshoot.
+                    prop_assert!(report.removed_trajectories <= before - model.len());
+                }
+                // Expire oldest-first down to a capacity.
+                _ => {
+                    let keep = pick % (model.len() + 1);
+                    engine.expire_to_capacity(keep);
+                    // The engine only counts segment-producing arrivals
+                    // against the capacity; degenerate ones (never
+                    // ingested) must not be double-dropped. Trim the model
+                    // by the engine's own live count.
+                    while segment_producing(&config, &model) > engine.live_trajectories() {
+                        model.remove(0);
+                    }
+                }
+            }
+            let snap = engine.snapshot();
+            let oracle = batch(&config, &model);
+            prop_assert_eq!(
+                snap, oracle,
+                "diverged after op {} ({}, {}) at threshold {}",
+                step, op, pick, THRESHOLDS[threshold_sel]
+            );
+        }
+        // The engine exercised the path the threshold selects.
+        let stats = engine.stats();
+        if THRESHOLDS[threshold_sel] == 0.0 && stats.removals > 0 {
+            prop_assert_eq!(stats.decremental_repairs, 0, "threshold 0 always rebuilds");
+        }
+    }
+
+    // A capacity-bounded sliding window over an insert-only stream: the
+    // snapshot tracks the batch run over the newest `cap` arrivals.
+    #[test]
+    fn capacity_window_matches_batch_suffix(
+        pool in pool(),
+        cap in 1usize..5,
+        threshold_sel in 0usize..3,
+    ) {
+        let config = config_with(2.5, 2, StreamConfig {
+            rebuild_threshold: THRESHOLDS[threshold_sel],
+            capacity: Some(cap),
+            ..StreamConfig::default()
+        });
+        let mut engine = IncrementalClustering::<2>::new(config);
+        let mut model: Vec<Trajectory<2>> = Vec::new();
+        for t in pool.iter().chain(pool.iter()) {
+            let report = engine.insert(t);
+            if report.new_segments > 0 {
+                model.push(t.clone());
+            }
+            while model.len() > cap {
+                model.remove(0);
+            }
+            prop_assert_eq!(engine.snapshot(), batch(&config, &model));
+            prop_assert!(engine.live_trajectories() <= cap);
+        }
+    }
+
+    // A time-bounded sliding window under caller-supplied (monotone)
+    // timestamps: arrivals age out exactly when the logical clock says so,
+    // and the snapshot tracks the batch run over what remains.
+    #[test]
+    fn time_window_matches_recent_arrivals(
+        pool in pool(),
+        deltas in prop::collection::vec(0u64..8, 3..16),
+        window in 4u64..20,
+        threshold_sel in 0usize..3,
+    ) {
+        let config = config_with(2.5, 2, StreamConfig {
+            rebuild_threshold: THRESHOLDS[threshold_sel],
+            time_window: Some(window),
+            ..StreamConfig::default()
+        });
+        let mut engine = IncrementalClustering::<2>::new(config);
+        let mut model: Vec<(u64, Trajectory<2>)> = Vec::new();
+        let mut now = 0u64;
+        for (k, delta) in deltas.iter().enumerate() {
+            now += delta;
+            let t = &pool[k % pool.len()];
+            let report = engine.insert_at(t, now);
+            if report.new_segments > 0 {
+                model.push((now, t.clone()));
+            }
+            model.retain(|&(ts, _)| now - ts < window);
+            let live: Vec<Trajectory<2>> = model.iter().map(|(_, t)| t.clone()).collect();
+            prop_assert_eq!(engine.snapshot(), batch(&config, &live));
+            prop_assert_eq!(engine.live_trajectories(), live.len());
+        }
+    }
+}
+
+/// How many of `live` partition into at least one segment under `config` —
+/// the arrivals the engine actually tracks.
+fn segment_producing(config: &TraclusConfig, live: &[Trajectory<2>]) -> usize {
+    live.iter()
+        .filter(|t| {
+            !traclus_core::partition_trajectories(&config.partition, std::slice::from_ref(t))
+                .is_empty()
+        })
+        .count()
+}
+
+/// A straight corridor trajectory at height `y`.
+fn corridor(id: u32, y: f64, points: usize) -> Trajectory<2> {
+    Trajectory::new(
+        TrajectoryId(id),
+        (0..points).map(|k| Point2::xy(k as f64 * 5.0, y)).collect(),
+    )
+}
+
+/// Regression: removing the single bridge trajectory between two corridor
+/// bands must split one component into two *through the scoped local
+/// repair* (rebuild threshold pinned high), verified by the
+/// repair-vs-rebuild counters. Two far-away padding bands prove the repair
+/// stayed scoped: their components transplant untouched.
+#[test]
+fn bridge_removal_splits_component_via_local_repair() {
+    let mut trajectories: Vec<Trajectory<2>> = Vec::new();
+    for i in 0..4 {
+        trajectories.push(corridor(i, i as f64 * 0.3, 12)); // band A
+        trajectories.push(corridor(10 + i, 4.0 + i as f64 * 0.3, 12)); // band B
+        trajectories.push(corridor(20 + i, 40.0 + i as f64 * 0.3, 12)); // padding C
+        trajectories.push(corridor(30 + i, 80.0 + i as f64 * 0.3, 12)); // padding D
+    }
+    trajectories.push(corridor(99, 2.45, 12)); // the A–B bridge
+    let config = config_with(
+        2.0,
+        3,
+        StreamConfig {
+            rebuild_threshold: 10.0,
+            ..StreamConfig::default()
+        },
+    );
+    let mut engine = IncrementalClustering::<2>::new(config);
+    for t in &trajectories {
+        engine.insert(t);
+    }
+    assert_eq!(
+        engine.snapshot().clusters.len(),
+        3,
+        "A+bridge+B merged, C, D"
+    );
+    let rebuilds_before = engine.stats().decremental_rebuilds;
+
+    let report = engine.remove_trajectory(TrajectoryId(99));
+    assert_eq!(report.removed_trajectories, 1);
+    assert!(
+        !report.rebuilt,
+        "threshold 10 must repair locally, not rebuild"
+    );
+    assert_eq!(engine.stats().decremental_repairs, 1);
+    assert_eq!(engine.stats().decremental_rebuilds, rebuilds_before);
+
+    trajectories.pop();
+    let snap = engine.snapshot();
+    assert_eq!(snap.clusters.len(), 4, "the bridge held A and B together");
+    assert_eq!(snap, batch(&config, &trajectories));
+}
+
+/// Regression: with exactly `MinLns` corridors every segment is core;
+/// removing one demotes the survivors below the threshold and the
+/// clustering empties — the demotion-handling path, at every threshold.
+#[test]
+fn removal_demotes_cores_to_noise() {
+    for threshold in THRESHOLDS {
+        let trajectories: Vec<Trajectory<2>> =
+            (0..3).map(|i| corridor(i, i as f64 * 0.3, 12)).collect();
+        let config = config_with(
+            2.0,
+            3,
+            StreamConfig {
+                rebuild_threshold: threshold,
+                ..StreamConfig::default()
+            },
+        );
+        let mut engine = IncrementalClustering::<2>::new(config);
+        for t in &trajectories {
+            engine.insert(t);
+        }
+        assert!(!engine.snapshot().clusters.is_empty());
+
+        let report = engine.remove_trajectory(TrajectoryId(1));
+        assert!(
+            report.demoted_cores > 0,
+            "survivors fall below MinLns at threshold {threshold}"
+        );
+        let snap = engine.snapshot();
+        assert!(snap.clusters.is_empty(), "no cores survive");
+        let live = vec![trajectories[0].clone(), trajectories[2].clone()];
+        assert_eq!(snap, batch(&config, &live));
+    }
+}
+
+/// Regression: a removed trajectory id is immediately reusable; the
+/// re-inserted trajectory takes fresh segment slots and the clustering
+/// matches the batch run with the re-arrival at the window's tail.
+#[test]
+fn removed_trajectory_id_reuse_round_trips() {
+    let config = config_with(3.0, 3, StreamConfig::default());
+    let trajectories: Vec<Trajectory<2>> =
+        (0..5).map(|i| corridor(i, i as f64 * 0.4, 15)).collect();
+    let mut engine = IncrementalClustering::<2>::new(config);
+    for t in &trajectories {
+        engine.insert(t);
+    }
+    let slots_before = engine.len();
+
+    assert_eq!(
+        engine
+            .remove_trajectory(TrajectoryId(2))
+            .removed_trajectories,
+        1
+    );
+    engine.insert(&trajectories[2]);
+    assert!(
+        engine.len() > slots_before,
+        "re-insertion takes fresh slots"
+    );
+
+    let mut live: Vec<Trajectory<2>> = trajectories.clone();
+    live.retain(|t| t.id != TrajectoryId(2));
+    live.push(trajectories[2].clone());
+    assert_eq!(engine.snapshot(), batch(&config, &live));
+
+    // Removing the reused id again retires only the one live arrival.
+    assert_eq!(
+        engine
+            .remove_trajectory(TrajectoryId(2))
+            .removed_trajectories,
+        1
+    );
+    live.pop();
+    assert_eq!(engine.snapshot(), batch(&config, &live));
+}
+
+/// Removing ids that never arrived (or arrived and already left) is a
+/// no-op with a default report.
+#[test]
+fn removal_of_absent_trajectories_is_a_noop() {
+    let config = config_with(3.0, 3, StreamConfig::default());
+    let mut engine = IncrementalClustering::<2>::new(config);
+    assert_eq!(
+        engine.remove_trajectory(TrajectoryId(7)),
+        RemoveReport::default()
+    );
+    engine.insert(&corridor(7, 0.0, 12));
+    engine.remove_trajectory(TrajectoryId(7));
+    assert_eq!(
+        engine.remove_trajectory(TrajectoryId(7)),
+        RemoveReport::default()
+    );
+    assert_eq!(engine.live_trajectories(), 0);
+    assert!(engine.snapshot().clusters.is_empty());
+}

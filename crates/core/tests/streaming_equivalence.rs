@@ -47,6 +47,7 @@ fn assert_stream_equivalent(config: TraclusConfig, trajectories: &[Trajectory<2>
         let mut engine: IncrementalClustering<2> = Traclus::new(TraclusConfig {
             stream: StreamConfig {
                 rebuild_threshold: threshold,
+                ..StreamConfig::default()
             },
             ..config
         })

@@ -65,6 +65,31 @@ impl<const D: usize> GridIndex<D> {
         }
     }
 
+    /// Removes the entry with the given id, returning whether it was
+    /// present. Cell lists drop the id wherever its box was registered;
+    /// cells emptied by the removal are evicted from the map entirely, so
+    /// a long-running sliding window cannot leak dead lattice keys.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let Some(slot) = self.id_slot.remove(&id) else {
+            return false;
+        };
+        let (_, bbox) = self.boxes.swap_remove(slot);
+        if slot < self.boxes.len() {
+            // The swap moved the tail entry into `slot`; re-point its id.
+            self.id_slot.insert(self.boxes[slot].0, slot);
+        }
+        let (lo, hi) = self.cell_range(&bbox);
+        for key in CellIter::new(lo, hi) {
+            if let Some(ids) = self.cells.get_mut(&key) {
+                ids.retain(|&e| e != id);
+                if ids.is_empty() {
+                    self.cells.remove(&key);
+                }
+            }
+        }
+        true
+    }
+
     /// The cell size the grid was built with.
     pub fn cell_size(&self) -> f64 {
         self.cell_size
@@ -205,6 +230,43 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b, "window {window:?}");
         }
+    }
+
+    #[test]
+    fn remove_drops_entry_from_every_cell() {
+        // The box spans four cells; after removal no cell may report it.
+        let mut grid = GridIndex::build(
+            1.0,
+            vec![
+                (3, aabb2(0.5, 0.5, 3.5, 0.6)),
+                (8, aabb2(0.5, 2.5, 1.5, 2.6)),
+            ],
+        );
+        assert!(grid.remove(3));
+        assert!(!grid.remove(3), "double removal reports absence");
+        assert_eq!(grid.len(), 1);
+        assert!(grid.query(&aabb2(0.0, 0.0, 4.0, 1.0)).is_empty());
+        assert_eq!(grid.query(&aabb2(0.0, 2.0, 2.0, 3.0)), vec![8]);
+        // The survivor sits in the swapped slot; dedup stamps must still
+        // resolve it (regression for slot compaction after swap_remove).
+        assert_eq!(grid.query(&aabb2(-10.0, -10.0, 10.0, 10.0)), vec![8]);
+    }
+
+    #[test]
+    fn remove_can_empty_the_grid() {
+        let entries: Vec<_> = (0..20u32)
+            .map(|i| (i, aabb2(i as f64, 0.0, i as f64 + 0.5, 0.5)))
+            .collect();
+        let mut grid = GridIndex::build(1.0, entries);
+        for i in 0..20u32 {
+            assert!(grid.remove(i));
+        }
+        assert!(grid.is_empty());
+        assert!(grid.cells.is_empty(), "emptied cells must be evicted");
+        assert!(grid.query(&aabb2(-1.0, -1.0, 30.0, 30.0)).is_empty());
+        // The emptied grid keeps accepting inserts.
+        grid.insert(99, aabb2(2.0, 2.0, 3.0, 3.0));
+        assert_eq!(grid.query(&aabb2(2.5, 2.5, 2.6, 2.6)), vec![99]);
     }
 
     #[test]

@@ -69,6 +69,13 @@ impl<const D: usize> Node<D> {
         b
     }
 
+    fn is_node_empty(&self) -> bool {
+        match self {
+            Node::Leaf { entries } => entries.is_empty(),
+            Node::Internal { children } => children.is_empty(),
+        }
+    }
+
     fn count(&self) -> usize {
         match self {
             Node::Leaf { entries } => entries.len(),
@@ -202,6 +209,36 @@ impl<const D: usize> RTree<D> {
         }
     }
 
+    /// Removes the entry `(id, bbox)` — `bbox` must be the box the id was
+    /// inserted with, which is what guides the descent (only subtrees whose
+    /// box contains it can hold the entry). Returns whether it was found.
+    ///
+    /// Removal is deliberately simpler than Guttman's condense-tree: the
+    /// entry is deleted in place, ancestor boxes are tightened, emptied
+    /// nodes are pruned, and a root left with a single child collapses so
+    /// the tree shrinks a level. Nodes may drop below `min_entries` — that
+    /// costs query selectivity, never correctness, and the sliding-window
+    /// engine periodically STR-rebuilds anyway (the same rebuild that heals
+    /// insertion-degraded trees).
+    pub fn remove(&mut self, id: u32, bbox: &Aabb<D>) -> bool {
+        if !remove_rec(&mut self.root, id, bbox) {
+            return false;
+        }
+        self.len -= 1;
+        // Collapse single-child roots so leaf depth shrinks uniformly.
+        loop {
+            let collapsed = match &mut self.root {
+                Node::Internal { children } if children.len() == 1 => {
+                    let (_, child) = children.pop().expect("exactly one child");
+                    *child
+                }
+                _ => break,
+            };
+            self.root = collapsed;
+        }
+        true
+    }
+
     /// Tree height (1 for a single leaf).
     pub fn depth(&self) -> usize {
         self.root.depth()
@@ -289,6 +326,38 @@ fn str_sort_nodes<const D: usize>(items: &mut [(Aabb<D>, Node<D>)], dim: usize, 
     let slab = items.len().div_ceil(slices);
     for chunk in items.chunks_mut(slab.max(1)) {
         str_sort_nodes(chunk, dim + 1, node_cap);
+    }
+}
+
+/// Recursive removal: descend only into children whose box contains the
+/// entry's box (the containment invariant guarantees the entry cannot live
+/// anywhere else), delete the first id match at a leaf, then prune emptied
+/// children and tighten boxes on the unwind. Returns whether it removed.
+fn remove_rec<const D: usize>(node: &mut Node<D>, id: u32, bbox: &Aabb<D>) -> bool {
+    match node {
+        Node::Leaf { entries } => match entries.iter().position(|(e, _)| *e == id) {
+            Some(k) => {
+                entries.remove(k);
+                true
+            }
+            None => false,
+        },
+        Node::Internal { children } => {
+            for k in 0..children.len() {
+                if !children[k].0.contains(bbox) {
+                    continue;
+                }
+                if remove_rec(&mut children[k].1, id, bbox) {
+                    if children[k].1.is_node_empty() {
+                        children.remove(k);
+                    } else {
+                        children[k].0 = children[k].1.bbox();
+                    }
+                    return true;
+                }
+            }
+            false
+        }
     }
 }
 
@@ -528,6 +597,65 @@ mod tests {
             max_entries: 8,
             min_entries: 7,
         });
+    }
+
+    #[test]
+    fn remove_matches_linear_scan_after_each_deletion() {
+        let entries = lattice(200);
+        let mut tree = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        let mut linear = LinearScanIndex::build(entries.clone());
+        // Delete in an order that empties whole leaves (consecutive STR
+        // chunks are spatial runs) interleaved with scattered ids.
+        let order: Vec<u32> = (0..200u32)
+            .map(|k| if k % 2 == 0 { k / 2 } else { 199 - k / 2 })
+            .collect();
+        for (step, &id) in order.iter().enumerate() {
+            let bbox = entries[id as usize].1;
+            assert!(tree.remove(id, &bbox), "id {id} present");
+            assert!(!tree.remove(id, &bbox), "id {id} already gone");
+            assert!(linear.remove(id));
+            tree.check_invariants();
+            assert_eq!(tree.len(), 199 - step);
+            for &(x, y, s) in &[(0.0, 0.0, 100.0), (3.0, 3.0, 4.0), (20.0, 12.0, 6.0)] {
+                let w = aabb2(x, y, x + s, y + s);
+                let mut a = tree.query(&w);
+                let mut b = linear.query(&w);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "step {step}, window {w:?}");
+            }
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.depth(), 1, "emptied tree collapses to a single leaf");
+        // The emptied tree keeps accepting inserts.
+        tree.insert(7, aabb2(0.0, 0.0, 1.0, 1.0));
+        tree.check_invariants();
+        assert_eq!(tree.query(&aabb2(0.5, 0.5, 0.6, 0.6)), vec![7]);
+    }
+
+    #[test]
+    fn remove_of_absent_id_is_a_noop() {
+        let entries = lattice(32);
+        let mut tree = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        assert!(!tree.remove(999, &aabb2(0.0, 0.0, 1.0, 1.0)));
+        assert_eq!(tree.len(), 32);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn remove_interleaved_with_insert_keeps_invariants() {
+        let entries = lattice(128);
+        let mut tree = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        // Churn: remove the first half while inserting replacements.
+        for i in 0..64u32 {
+            assert!(tree.remove(i, &entries[i as usize].1));
+            let x = 200.0 + i as f64;
+            tree.insert(1000 + i, aabb2(x, 0.0, x + 0.5, 0.5));
+            tree.check_invariants();
+        }
+        assert_eq!(tree.len(), 128);
+        let hits = tree.query(&aabb2(200.0, 0.0, 300.0, 1.0));
+        assert_eq!(hits.len(), 64);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use traclus_core::{IncrementalClustering, SnapshotCell, TraclusConfig};
+use traclus_core::{IncrementalClustering, RemoveReport, SnapshotCell, TraclusConfig};
 use traclus_geom::{Point2, Trajectory, TrajectoryId};
 
 /// Work for the engine thread.
@@ -35,6 +35,24 @@ pub enum EngineCommand {
         points: Vec<[f64; 2]>,
         /// Optional trajectory weight.
         weight: Option<f64>,
+    },
+    /// Retire one trajectory from the live window. Synchronous: the
+    /// reply carries the removal report plus the epoch of the snapshot
+    /// that first reflects it, so a client observes its own removal.
+    Remove {
+        /// The trajectory to retire (all its live arrivals).
+        id: TrajectoryId,
+        /// Where to send the applied report + publication epoch.
+        reply: SyncSender<(RemoveReport, u64)>,
+    },
+    /// Expire oldest-first down to a live-trajectory capacity.
+    /// Synchronous like [`Self::Remove`]: the reply carries the combined
+    /// removal report for everything expired, plus the epoch.
+    Expire {
+        /// The capacity to shrink the live window to.
+        keep: usize,
+        /// Where to send the expiry report + publication epoch.
+        reply: SyncSender<(RemoveReport, u64)>,
     },
     /// Publish everything applied so far, then reply with the epoch —
     /// the read-your-writes barrier behind the `flush` op.
@@ -65,6 +83,10 @@ impl EngineThread {
         let handle = std::thread::spawn(move || {
             let mut engine = IncrementalClustering::<2>::new(config);
             let mut pending_flushes: Vec<SyncSender<u64>> = Vec::new();
+            let mut pending_removes: Vec<(SyncSender<(RemoveReport, u64)>, RemoveReport)> =
+                Vec::new();
+            let mut pending_expires: Vec<(SyncSender<(RemoveReport, u64)>, RemoveReport)> =
+                Vec::new();
             'outer: loop {
                 // Block for the first command, then opportunistically
                 // drain whatever else arrived — one publication per batch.
@@ -78,6 +100,16 @@ impl EngineThread {
                     match cmd {
                         EngineCommand::Ingest { id, points, weight } => {
                             insert(&mut engine, id, points, weight);
+                            applied += 1;
+                        }
+                        EngineCommand::Remove { id, reply } => {
+                            let report = engine.remove_trajectory(id);
+                            pending_removes.push((reply, report));
+                            applied += 1;
+                        }
+                        EngineCommand::Expire { keep, reply } => {
+                            let expired = engine.expire_to_capacity(keep);
+                            pending_expires.push((reply, expired));
                             applied += 1;
                         }
                         EngineCommand::Flush(reply) => pending_flushes.push(reply),
@@ -94,6 +126,12 @@ impl EngineThread {
                 for reply in pending_flushes.drain(..) {
                     // A flush client that hung up just forfeits its reply.
                     let _ = reply.try_send(snapshot.epoch());
+                }
+                for (reply, report) in pending_removes.drain(..) {
+                    let _ = reply.try_send((report, snapshot.epoch()));
+                }
+                for (reply, report) in pending_expires.drain(..) {
+                    let _ = reply.try_send((report, snapshot.epoch()));
                 }
                 if stop {
                     break 'outer;
@@ -147,5 +185,39 @@ pub(crate) fn send_command(
 pub(crate) fn flush(tx: &SyncSender<EngineCommand>) -> Result<u64, &'static str> {
     let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
     send_command(tx, EngineCommand::Flush(reply_tx))?;
+    reply_rx.recv().map_err(|_| "engine stopped")
+}
+
+/// A removal round-trip: enqueue, wait for the applied report and the
+/// epoch of the snapshot that first reflects it.
+pub(crate) fn remove(
+    tx: &SyncSender<EngineCommand>,
+    id: TrajectoryId,
+) -> Result<(RemoveReport, u64), &'static str> {
+    let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+    send_command(
+        tx,
+        EngineCommand::Remove {
+            id,
+            reply: reply_tx,
+        },
+    )?;
+    reply_rx.recv().map_err(|_| "engine stopped")
+}
+
+/// An expiry round-trip: enqueue, wait for the combined removal report
+/// and the epoch of the snapshot that first reflects it.
+pub(crate) fn expire(
+    tx: &SyncSender<EngineCommand>,
+    keep: usize,
+) -> Result<(RemoveReport, u64), &'static str> {
+    let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+    send_command(
+        tx,
+        EngineCommand::Expire {
+            keep,
+            reply: reply_tx,
+        },
+    )?;
     reply_rx.recv().map_err(|_| "engine stopped")
 }

@@ -8,6 +8,8 @@
 //! | `op`              | fields                            | answer |
 //! |-------------------|-----------------------------------|--------|
 //! | `ingest`          | `points: [[x,y],…]`, `weight?`    | assigned trajectory id (queued, not yet applied) |
+//! | `remove`          | `trajectory: id`                  | retires that trajectory from the live window (synchronous: replies after the removal is applied and published) |
+//! | `expire`          | `keep: n`                         | expires oldest-first down to `n` live trajectories (synchronous, like `remove`) |
 //! | `membership`      | `trajectory: id`                  | clusters containing that trajectory |
 //! | `nearest`         | `point: [x,y]`                    | closest cluster + distance to its representative |
 //! | `representatives` | —                                 | every cluster's representative polyline |
@@ -33,6 +35,16 @@ pub enum Request {
         /// Optional trajectory weight (Section 4.2 extension); `None`
         /// means unweighted.
         weight: Option<f64>,
+    },
+    /// Retire one trajectory (all its live arrivals) from the window.
+    Remove {
+        /// The trajectory id assigned at ingest.
+        trajectory: u32,
+    },
+    /// Expire oldest-first until at most `keep` live trajectories remain.
+    Expire {
+        /// The capacity to shrink the live window to.
+        keep: usize,
     },
     /// Which clusters contain a trajectory?
     Membership {
@@ -198,6 +210,28 @@ impl Request {
                 };
                 Ok(Request::Ingest { points, weight })
             }
+            "remove" => {
+                let raw = required(&value, "remove", "trajectory")?;
+                let id = raw.as_i64().and_then(|i| u32::try_from(i).ok()).ok_or(
+                    ProtocolError::BadField {
+                        op: "remove",
+                        field: "trajectory",
+                        expected: "a trajectory id (non-negative integer)",
+                    },
+                )?;
+                Ok(Request::Remove { trajectory: id })
+            }
+            "expire" => {
+                let raw = required(&value, "expire", "keep")?;
+                let keep = raw.as_i64().and_then(|i| usize::try_from(i).ok()).ok_or(
+                    ProtocolError::BadField {
+                        op: "expire",
+                        field: "keep",
+                        expected: "a capacity (non-negative integer)",
+                    },
+                )?;
+                Ok(Request::Expire { keep })
+            }
             "membership" => {
                 let raw = required(&value, "membership", "trajectory")?;
                 let id = raw.as_i64().and_then(|i| u32::try_from(i).ok()).ok_or(
@@ -253,6 +287,14 @@ impl Request {
                 }
                 JsonValue::Object(fields)
             }
+            Request::Remove { trajectory } => JsonValue::object([
+                ("op", JsonValue::from("remove")),
+                ("trajectory", JsonValue::from(*trajectory)),
+            ]),
+            Request::Expire { keep } => JsonValue::object([
+                ("op", JsonValue::from("expire")),
+                ("keep", JsonValue::from(*keep)),
+            ]),
             Request::Membership { trajectory } => JsonValue::object([
                 ("op", JsonValue::from("membership")),
                 ("trajectory", JsonValue::from(*trajectory)),
@@ -307,6 +349,14 @@ mod tests {
             Request::Membership { trajectory: 7 }
         );
         assert_eq!(
+            Request::parse_line(r#"{"op": "remove", "trajectory": 3}"#).unwrap(),
+            Request::Remove { trajectory: 3 }
+        );
+        assert_eq!(
+            Request::parse_line(r#"{"op": "expire", "keep": 0}"#).unwrap(),
+            Request::Expire { keep: 0 }
+        );
+        assert_eq!(
             Request::parse_line(r#"{"op": "flush"}"#).unwrap(),
             Request::Flush
         );
@@ -319,6 +369,8 @@ mod tests {
                 points: vec![[1.5, 2.5]],
                 weight: Some(2.0),
             },
+            Request::Remove { trajectory: 42 },
+            Request::Expire { keep: 16 },
             Request::Nearest { point: [0.5, -0.5] },
             Request::Region {
                 min: [0.0, 0.0],
@@ -362,6 +414,18 @@ mod tests {
         ));
         assert!(matches!(
             Request::parse_line(r#"{"op": "ingest", "points": [], "weight": 0}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "remove", "trajectory": -1}"#),
+            Err(ProtocolError::BadField { .. })
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "expire"}"#),
+            Err(ProtocolError::MissingField { .. })
+        ));
+        assert!(matches!(
+            Request::parse_line(r#"{"op": "expire", "keep": 1.5}"#),
             Err(ProtocolError::BadField { .. })
         ));
         // Inverted regions would trip `Aabb::new`'s assert downstream;

@@ -18,7 +18,7 @@ use traclus_core::{ClusterSnapshot, SnapshotCell, TraclusConfig};
 use traclus_geom::{Aabb, Point2, TrajectoryId};
 use traclus_json::JsonValue;
 
-use crate::engine::{flush, send_command, EngineCommand, EngineThread};
+use crate::engine::{expire, flush, remove, send_command, EngineCommand, EngineThread};
 use crate::protocol::{error_response, Request};
 
 /// Configuration of one serving daemon.
@@ -35,6 +35,12 @@ pub struct ServerConfig {
     /// cap the accept loop parks until a handler exits, so excess clients
     /// queue in the listener backlog instead of spawning threads.
     pub max_connections: usize,
+    /// Optional server-side sliding window: at most this many live
+    /// trajectories. When set, every applied ingest self-prunes the
+    /// oldest arrivals past the cap before the batch publishes — clients
+    /// never observe an over-capacity snapshot. Equivalent to setting
+    /// `traclus.stream.capacity` (and overrides it when both are given).
+    pub window: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +50,7 @@ impl Default for ServerConfig {
             queue_depth: 1024,
             poll_interval: Duration::from_millis(100),
             max_connections: 1024,
+            window: None,
         }
     }
 }
@@ -84,9 +91,13 @@ impl Server {
     /// port 0 to let the OS pick (read it back via [`Self::local_addr`]).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let cell = Arc::new(SnapshotCell::<2>::new(config.traclus));
+        let mut traclus = config.traclus;
+        if config.window.is_some() {
+            traclus.stream.capacity = config.window;
+        }
+        let cell = Arc::new(SnapshotCell::<2>::new(traclus));
         let (tx, rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
-        let engine = EngineThread::spawn(config.traclus, Arc::clone(&cell), rx);
+        let engine = EngineThread::spawn(traclus, Arc::clone(&cell), rx);
         Ok(Self {
             listener,
             shared: Arc::new(Shared {
@@ -330,6 +341,43 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
                 Err(msg) => (error_reply(msg), false),
             }
         }
+        Ok(Request::Remove { trajectory }) => {
+            match remove(&shared.commands, TrajectoryId(trajectory)) {
+                Ok((report, epoch)) => (
+                    JsonValue::object([
+                        ("ok", JsonValue::from(true)),
+                        (
+                            "epoch",
+                            JsonValue::Int(i64::try_from(epoch).unwrap_or(i64::MAX)),
+                        ),
+                        (
+                            "removed_trajectories",
+                            JsonValue::from(report.removed_trajectories),
+                        ),
+                        ("removed_segments", JsonValue::from(report.removed_segments)),
+                        ("demoted_cores", JsonValue::from(report.demoted_cores)),
+                        ("rebuilt", JsonValue::from(report.rebuilt)),
+                    ]),
+                    false,
+                ),
+                Err(msg) => (error_reply(msg), false),
+            }
+        }
+        Ok(Request::Expire { keep }) => match expire(&shared.commands, keep) {
+            Ok((report, epoch)) => (
+                JsonValue::object([
+                    ("ok", JsonValue::from(true)),
+                    (
+                        "epoch",
+                        JsonValue::Int(i64::try_from(epoch).unwrap_or(i64::MAX)),
+                    ),
+                    ("expired", JsonValue::from(report.removed_trajectories)),
+                    ("removed_segments", JsonValue::from(report.removed_segments)),
+                ]),
+                false,
+            ),
+            Err(msg) => (error_reply(msg), false),
+        },
         Ok(Request::Membership { trajectory }) => {
             let snap = shared.cell.load();
             let clusters = snap.membership(TrajectoryId(trajectory));
@@ -421,6 +469,16 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
                         ("core_flips", JsonValue::from(stats.core_flips)),
                         ("local_repairs", JsonValue::from(stats.local_repairs)),
                         ("full_rebuilds", JsonValue::from(stats.full_rebuilds)),
+                        ("removals", JsonValue::from(stats.removals)),
+                        ("expired", JsonValue::from(stats.expired)),
+                        (
+                            "decremental_repairs",
+                            JsonValue::from(stats.decremental_repairs),
+                        ),
+                        (
+                            "decremental_rebuilds",
+                            JsonValue::from(stats.decremental_rebuilds),
+                        ),
                     ],
                 ),
                 false,

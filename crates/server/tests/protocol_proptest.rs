@@ -22,7 +22,7 @@ struct ArbRequest;
 impl Strategy for ArbRequest {
     type Value = Request;
     fn generate(&self, rng: &mut TestRng) -> Request {
-        match rng.gen_range(0..8u32) {
+        match rng.gen_range(0..10u32) {
             0 => {
                 let n = rng.gen_range(0..20usize);
                 Request::Ingest {
@@ -51,6 +51,12 @@ impl Strategy for ArbRequest {
             }
             5 => Request::Stats,
             6 => Request::Flush,
+            7 => Request::Remove {
+                trajectory: rng.gen_range(0..u32::MAX),
+            },
+            8 => Request::Expire {
+                keep: rng.gen_range(0..1_000_000usize),
+            },
             _ => Request::Shutdown,
         }
     }
@@ -97,6 +103,9 @@ impl Strategy for RequestSoup {
             "stats",
             "flush",
             "shutdown",
+            "remove",
+            "expire",
+            "keep",
             "representatives",
             "1",
             "-3.5",

@@ -29,14 +29,16 @@ fn fixture() -> (TraclusConfig, Vec<Trajectory<2>>) {
 /// Starts a daemon on an ephemeral port; returns its address and the
 /// serving thread (joined for a clean exit check).
 fn start(config: TraclusConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            traclus: config,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind ephemeral port");
+    start_with(ServerConfig {
+        traclus: config,
+        ..ServerConfig::default()
+    })
+}
+
+/// Starts a daemon with full control over the serving knobs (poll
+/// interval, server-side window, …).
+fn start_with(config: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
     let addr = server.local_addr();
     let handle = std::thread::spawn(move || server.run());
     (addr, handle)
@@ -302,12 +304,21 @@ fn concurrent_readers_observe_only_batch_prefixes() {
 /// the partial line must survive the timeouts and parse as one request
 /// once the tail arrives (regression: the handler used to clear its
 /// buffer every iteration, discarding bytes read before a timeout).
+///
+/// The pause here is the *scenario under test*, not synchronization — the
+/// handler must time out while the line is incomplete. A short poll
+/// interval makes one pause span many timeouts without a long wall-clock
+/// sleep (the old shape slept 350ms against the default 100ms poll).
 #[test]
 fn requests_paused_mid_line_survive_read_timeouts() {
     use std::io::{BufRead, BufReader, Write};
 
     let (config, _) = fixture();
-    let (addr, server) = start(config);
+    let (addr, server) = start_with(ServerConfig {
+        traclus: config,
+        poll_interval: std::time::Duration::from_millis(10),
+        ..ServerConfig::default()
+    });
     let mut stream = std::net::TcpStream::connect(addr).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
 
@@ -315,8 +326,8 @@ fn requests_paused_mid_line_survive_read_timeouts() {
     let (head, tail) = line.split_at(8);
     stream.write_all(head.as_bytes()).expect("head");
     stream.flush().expect("flush head");
-    // Several handler poll intervals (default 100ms) elapse mid-line.
-    std::thread::sleep(std::time::Duration::from_millis(350));
+    // Several handler poll intervals (10ms) elapse mid-line.
+    std::thread::sleep(std::time::Duration::from_millis(60));
     stream.write_all(tail.as_bytes()).expect("tail");
     stream.flush().expect("flush tail");
 
@@ -373,5 +384,213 @@ fn queries_on_an_empty_daemon_are_well_formed() {
 
     let resp = client.request(&Request::Shutdown).expect("shutdown");
     assert_ok(&resp);
+    server.join().expect("join").expect("clean shutdown");
+}
+
+/// `remove` and `expire` over the wire are synchronous and exact: each
+/// reply's epoch reflects the published post-removal snapshot, and the
+/// served representatives equal the batch pipeline on the live window.
+#[test]
+fn remove_and_expire_round_trip_over_the_wire() {
+    let (config, trajectories) = fixture();
+    let (addr, server) = start(config);
+    let mut client = Client::connect(addr).expect("connect");
+
+    for t in &trajectories {
+        assert_ok(&client.request(&ingest_request(t)).expect("ingest"));
+    }
+    assert_ok(&client.request(&Request::Flush).expect("flush"));
+
+    // Remove the first trajectory: the reply is the applied report, and a
+    // subsequent read observes the post-removal clustering (no sleep, no
+    // extra flush — the remove reply *is* the barrier).
+    let resp = client
+        .request(&Request::Remove { trajectory: 0 })
+        .expect("remove");
+    assert_ok(&resp);
+    assert_eq!(
+        resp.get("removed_trajectories").and_then(JsonValue::as_i64),
+        Some(1)
+    );
+    let removal_epoch = epoch_of(&resp);
+    let resp = client.request(&Request::Representatives).expect("reps");
+    assert_ok(&resp);
+    assert!(epoch_of(&resp) >= removal_epoch, "read-your-removal");
+    assert_eq!(
+        wire_representatives(&resp),
+        batch_representatives(config, &trajectories[1..])
+    );
+
+    // Removing it again is a no-op, not an error.
+    let resp = client
+        .request(&Request::Remove { trajectory: 0 })
+        .expect("re-remove");
+    assert_ok(&resp);
+    assert_eq!(
+        resp.get("removed_trajectories").and_then(JsonValue::as_i64),
+        Some(0)
+    );
+
+    // Expire down to the 10 newest: 17 live - 10 = 7 expired, and the
+    // served state equals the batch run on that suffix.
+    let resp = client
+        .request(&Request::Expire { keep: 10 })
+        .expect("expire");
+    assert_ok(&resp);
+    assert_eq!(resp.get("expired").and_then(JsonValue::as_i64), Some(7));
+    let resp = client.request(&Request::Representatives).expect("reps");
+    assert_ok(&resp);
+    assert_eq!(
+        wire_representatives(&resp),
+        batch_representatives(config, &trajectories[8..])
+    );
+
+    // The decremental counters surface through `stats`.
+    let resp = client.request(&Request::Stats).expect("stats");
+    assert_ok(&resp);
+    assert_eq!(resp.get("removals").and_then(JsonValue::as_i64), Some(8));
+    assert_eq!(resp.get("expired").and_then(JsonValue::as_i64), Some(7));
+
+    assert_ok(&client.request(&Request::Shutdown).expect("shutdown"));
+    server.join().expect("join").expect("clean shutdown");
+}
+
+/// A daemon bound with `window: Some(n)` self-prunes between publishes:
+/// after ingesting past the cap, reads observe exactly the batch run on
+/// the `n` newest trajectories, with no client-driven expiry.
+#[test]
+fn server_side_window_self_prunes() {
+    let (config, trajectories) = fixture();
+    let (addr, server) = start_with(ServerConfig {
+        traclus: config,
+        window: Some(8),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    for t in &trajectories {
+        assert_ok(&client.request(&ingest_request(t)).expect("ingest"));
+    }
+    assert_ok(&client.request(&Request::Flush).expect("flush"));
+
+    let resp = client.request(&Request::Stats).expect("stats");
+    assert_ok(&resp);
+    assert_eq!(
+        resp.get("expired").and_then(JsonValue::as_i64),
+        Some((trajectories.len() - 8) as i64),
+        "everything past the window aged out automatically"
+    );
+    let resp = client.request(&Request::Representatives).expect("reps");
+    assert_ok(&resp);
+    assert_eq!(
+        wire_representatives(&resp),
+        batch_representatives(config, &trajectories[trajectories.len() - 8..])
+    );
+
+    assert_ok(&client.request(&Request::Shutdown).expect("shutdown"));
+    server.join().expect("join").expect("clean shutdown");
+}
+
+/// Soak: four connections drive a mixed ingest + removal + expiry + query
+/// workload — 2000 requests total — against a windowed daemon. Every
+/// response is `ok`, every connection's observed epochs are monotone
+/// non-decreasing, and the daemon shuts down cleanly (a handler or engine
+/// panic would re-raise out of `Server::run`).
+#[test]
+fn soak_mixed_workload_from_four_connections() {
+    const CONNECTIONS: usize = 4;
+    const REQUESTS_PER_CONNECTION: usize = 500;
+
+    // Light synthetic corridors (not the hurricane fixture): the soak is
+    // about protocol/engine liveness under churn, not clustering quality,
+    // and 2000 requests must not cost minutes of clustering work.
+    let (config, _) = fixture();
+    let trajectories: Vec<Trajectory<2>> = (0..12u32)
+        .map(|i| {
+            Trajectory::new(
+                traclus_geom::TrajectoryId(i),
+                (0..6)
+                    .map(|k| traclus_geom::Point2::xy(f64::from(k) * 8.0, f64::from(i) * 1.5))
+                    .collect(),
+            )
+        })
+        .collect();
+    let (addr, server) = start_with(ServerConfig {
+        traclus: config,
+        poll_interval: std::time::Duration::from_millis(10),
+        window: Some(48),
+        ..ServerConfig::default()
+    });
+
+    std::thread::scope(|s| {
+        let trajectories = &trajectories;
+        let mut workers = Vec::new();
+        for worker in 0..CONNECTIONS {
+            workers.push(s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Deterministic per-connection mix (split-mix step).
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ (worker as u64);
+                let mut draw = |bound: u64| {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (rng >> 33) % bound
+                };
+                let mut last_epoch = 0u64;
+                for _ in 0..REQUESTS_PER_CONNECTION {
+                    let request = match draw(10) {
+                        0..=3 => {
+                            ingest_request(&trajectories[draw(trajectories.len() as u64) as usize])
+                        }
+                        4 => Request::Remove {
+                            trajectory: draw(96) as u32,
+                        },
+                        5 => Request::Expire {
+                            keep: 16 + draw(32) as usize,
+                        },
+                        6 => Request::Representatives,
+                        7 => Request::Stats,
+                        8 => Request::Membership {
+                            trajectory: draw(96) as u32,
+                        },
+                        _ => Request::Flush,
+                    };
+                    let resp = client.request(&request).expect("request");
+                    assert_ok(&resp);
+                    if let Some(epoch) = resp
+                        .get("epoch")
+                        .and_then(JsonValue::as_i64)
+                        .and_then(|e| u64::try_from(e).ok())
+                    {
+                        assert!(
+                            epoch >= last_epoch,
+                            "connection {worker} observed epoch {epoch} after {last_epoch}"
+                        );
+                        last_epoch = epoch;
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("soak connection panicked");
+        }
+    });
+
+    // The window bounds live state no matter what the workload did.
+    let mut client = Client::connect(addr).expect("connect");
+    assert_ok(&client.request(&Request::Flush).expect("flush"));
+    let resp = client.request(&Request::Stats).expect("stats");
+    assert_ok(&resp);
+    let ingested = resp
+        .get("trajectories")
+        .and_then(JsonValue::as_i64)
+        .expect("trajectories counter");
+    let removed = resp
+        .get("removals")
+        .and_then(JsonValue::as_i64)
+        .expect("removals counter");
+    assert!(ingested - removed <= 48, "live window stays under the cap");
+
+    assert_ok(&client.request(&Request::Shutdown).expect("shutdown"));
     server.join().expect("join").expect("clean shutdown");
 }

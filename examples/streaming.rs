@@ -31,6 +31,7 @@ fn main() {
         // quarter of the database (the default; shown for visibility).
         stream: StreamConfig {
             rebuild_threshold: 0.25,
+            ..StreamConfig::default()
         },
         ..TraclusConfig::default()
     };

@@ -88,7 +88,7 @@ pub mod prelude {
         representative::RepresentativeConfig,
         segment_db::SegmentDatabase,
         snapshot::{ClusterSnapshot, RegionSummary, SnapshotCell},
-        stream::{IncrementalClustering, InsertReport, StreamConfig, StreamStats},
+        stream::{IncrementalClustering, InsertReport, RemoveReport, StreamConfig, StreamStats},
         Traclus, TraclusConfig, TraclusOutcome,
     };
     pub use traclus_geom::{

@@ -46,6 +46,59 @@ proptest! {
         }
     }
 
+    // Decremental agreement: after every deletion batch, the
+    // incrementally-maintained grid and R-tree answer every live
+    // neighborhood identically to a fresh full build over the survivors
+    // and to the Linear reference (which reads the database's tombstones
+    // directly, so it needs no maintenance).
+    #[test]
+    fn deletions_agree_with_fresh_builds_and_linear(
+        raw in prop::collection::vec(
+            (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64),
+            4..50,
+        ),
+        batches in prop::collection::vec(
+            prop::collection::vec(0usize..64, 1..6),
+            1..6,
+        ),
+        eps in 0.5..25.0f64,
+    ) {
+        let mut db = db_from(raw);
+        let linear = db.build_index(IndexKind::Linear, eps);
+        let mut grid = db.build_index(IndexKind::Grid, eps);
+        let mut rtree = db.build_index(IndexKind::RTree, eps);
+        for (b, batch) in batches.iter().enumerate() {
+            for &pick in batch {
+                let live: Vec<u32> = (0..db.len() as u32).filter(|&id| db.is_live(id)).collect();
+                let Some(&kill) = live.get(pick % live.len().max(1)) else {
+                    break; // everything is dead already
+                };
+                let bbox = *db.bbox_of(kill);
+                prop_assert!(db.remove_segment(kill));
+                grid.remove(kill, &bbox);
+                rtree.remove(kill, &bbox);
+            }
+            let fresh_grid = db.build_index(IndexKind::Grid, eps);
+            let fresh_rtree = db.build_index(IndexKind::RTree, eps);
+            for id in (0..db.len() as u32).filter(|&id| db.is_live(id)) {
+                let reference = db.neighborhood(&linear, id, eps);
+                for (name, index) in [
+                    ("incremental grid", &grid),
+                    ("incremental rtree", &rtree),
+                    ("fresh grid", &fresh_grid),
+                    ("fresh rtree", &fresh_rtree),
+                ] {
+                    prop_assert_eq!(
+                        &reference,
+                        &db.neighborhood(index, id, eps),
+                        "{} diverged from Linear at id {} after batch {} (eps {})",
+                        name, id, b, eps
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn clusterings_agree_across_indexes(
         raw in prop::collection::vec(
@@ -73,4 +126,67 @@ proptest! {
         prop_assert_eq!(&outcomes[0], &outcomes[1]);
         prop_assert_eq!(&outcomes[0], &outcomes[2]);
     }
+}
+
+/// Deleting every segment that hashed into one grid cell (equivalently,
+/// one R-tree leaf region) must leave the survivors' neighborhoods exactly
+/// right — the structural corner where a cell/leaf empties out entirely —
+/// and deleting the rest must leave a valid empty index that fresh builds
+/// agree with.
+#[test]
+fn emptying_a_cell_then_the_whole_index_stays_consistent() {
+    // Ids 0..4: a tight knot near the origin (one cell / one leaf).
+    // Ids 4..8: a second knot far away at (100, 100).
+    let knot = |cx: f64, cy: f64, base: usize| -> Vec<(f64, f64, f64, f64)> {
+        (0..4)
+            .map(|k| {
+                let off = (base + k) as f64 * 0.3;
+                (cx + off, cy, cx + off + 1.0, cy + 0.5)
+            })
+            .collect()
+    };
+    let mut raw = knot(0.0, 0.0, 0);
+    raw.extend(knot(100.0, 100.0, 0));
+    let mut db = db_from(raw);
+    let eps = 3.0;
+    let linear = db.build_index(IndexKind::Linear, eps);
+    let mut grid = db.build_index(IndexKind::Grid, eps);
+    let mut rtree = db.build_index(IndexKind::RTree, eps);
+
+    let check = |db: &SegmentDatabase<2>,
+                 grid: &traclus::core::NeighborIndex<2>,
+                 rtree: &traclus::core::NeighborIndex<2>| {
+        let fresh_grid = db.build_index(IndexKind::Grid, eps);
+        let fresh_rtree = db.build_index(IndexKind::RTree, eps);
+        for id in (0..db.len() as u32).filter(|&id| db.is_live(id)) {
+            let reference = db.neighborhood(&linear, id, eps);
+            for index in [grid, rtree, &fresh_grid, &fresh_rtree] {
+                assert_eq!(reference, db.neighborhood(index, id, eps), "id {id}");
+            }
+        }
+    };
+
+    // Empty the origin knot one segment at a time — the last removal
+    // leaves its cell (and leaf) with zero entries.
+    for kill in 0..4u32 {
+        let bbox = *db.bbox_of(kill);
+        assert!(db.remove_segment(kill));
+        grid.remove(kill, &bbox);
+        rtree.remove(kill, &bbox);
+        check(&db, &grid, &rtree);
+    }
+    // The far knot is untouched: each survivor still sees all four.
+    assert_eq!(db.live_len(), 4);
+    assert_eq!(db.neighborhood(&linear, 4, eps).len(), 4);
+
+    // Now empty the index entirely; incremental and fresh builds must
+    // agree on the nothing that remains.
+    for kill in 4..8u32 {
+        let bbox = *db.bbox_of(kill);
+        assert!(db.remove_segment(kill));
+        grid.remove(kill, &bbox);
+        rtree.remove(kill, &bbox);
+        check(&db, &grid, &rtree);
+    }
+    assert_eq!(db.live_len(), 0);
 }

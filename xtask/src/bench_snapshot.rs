@@ -83,6 +83,83 @@ pub fn render_json(results: &[BenchResult], captured_unix_secs: u64) -> String {
     out
 }
 
+/// Parses a previously rendered snapshot back into its results — the
+/// inverse of [`render_json`] over the subset of JSON that renderer
+/// emits (one `{ "label": …, "median_ns": … }` object per line). Lines
+/// that do not look like result entries are skipped, so a hand-edited or
+/// truncated file degrades to "fewer preserved entries", never an error.
+pub fn parse_snapshot_results(json: &str) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    for line in json.lines() {
+        let Some(label_at) = line.find("\"label\": \"") else {
+            continue;
+        };
+        let rest = &line[label_at + "\"label\": \"".len()..];
+        let Some((label, rest)) = take_json_string(rest) else {
+            continue;
+        };
+        let Some(median_at) = rest.find("\"median_ns\": ") else {
+            continue;
+        };
+        let tail = &rest[median_at + "\"median_ns\": ".len()..];
+        let number: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        if let Ok(median_ns) = number.parse::<f64>() {
+            results.push(BenchResult { label, median_ns });
+        }
+    }
+    results
+}
+
+/// Reads a JSON string body up to its closing quote, undoing
+/// [`escape_json`]; returns the decoded string and the remainder after
+/// the quote.
+fn take_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                'u' => {
+                    let (j, _) = chars.nth(3)?;
+                    let code = u32::from_str_radix(s.get(j - 3..=j)?, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                escaped => out.push(escaped),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Merges freshly measured results over an existing snapshot: a label
+/// present in both takes the fresh number (in its existing position);
+/// labels only in `existing` are preserved — so re-running a subset of
+/// bench groups updates those entries without clobbering the rest — and
+/// brand-new labels append in measurement order.
+pub fn merge_results(existing: &[BenchResult], fresh: &[BenchResult]) -> Vec<BenchResult> {
+    let mut merged: Vec<BenchResult> = existing
+        .iter()
+        .map(|e| {
+            fresh
+                .iter()
+                .find(|f| f.label == e.label)
+                .unwrap_or(e)
+                .clone()
+        })
+        .collect();
+    for f in fresh {
+        if !existing.iter().any(|e| e.label == f.label) {
+            merged.push(f.clone());
+        }
+    }
+    merged
+}
+
 fn escape_json(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -123,6 +200,38 @@ bench: malformed line without the keyword
         assert_eq!(results[0].median_ns, 1.234e6);
         assert_eq!(results[1].label, "cluster/parallel_hurricane32/t4");
         assert_eq!(results[1].median_ns, 456700.0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_the_parser() {
+        let results = vec![
+            BenchResult {
+                label: "cluster/grid/1000".to_string(),
+                median_ns: 4157000.0,
+            },
+            BenchResult {
+                label: "odd\"label\\with escapes".to_string(),
+                median_ns: 1.5,
+            },
+        ];
+        let parsed = parse_snapshot_results(&render_json(&results, 7));
+        assert_eq!(parsed, results);
+    }
+
+    #[test]
+    fn merge_preserves_unmeasured_entries_and_updates_the_rest() {
+        let old = |label: &str, ns: f64| BenchResult {
+            label: label.to_string(),
+            median_ns: ns,
+        };
+        let existing = vec![old("a", 1.0), old("b", 2.0), old("c", 3.0)];
+        let fresh = vec![old("b", 20.0), old("d", 40.0)];
+        let merged = merge_results(&existing, &fresh);
+        assert_eq!(
+            merged,
+            vec![old("a", 1.0), old("b", 20.0), old("c", 3.0), old("d", 40.0)],
+            "re-measured labels update in place, new labels append, the rest survive"
+        );
     }
 
     #[test]

@@ -167,9 +167,23 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
         ));
     }
 
-    let results = bench_snapshot::parse_bench_output(&stdout);
-    if results.is_empty() {
+    let fresh = bench_snapshot::parse_bench_output(&stdout);
+    if fresh.is_empty() {
         return Err("cargo bench produced no `bench:` lines to snapshot".to_string());
+    }
+    // Merge over whatever the checked-in snapshot already holds: a run
+    // that measured only some groups (filtered, or a bench file that grew
+    // new groups since the last capture) must not clobber the rest.
+    let existing = std::fs::read_to_string(&out_path)
+        .map(|json| bench_snapshot::parse_snapshot_results(&json))
+        .unwrap_or_default();
+    let preserved = existing
+        .iter()
+        .filter(|e| !fresh.iter().any(|f| f.label == e.label))
+        .count();
+    let results = bench_snapshot::merge_results(&existing, &fresh);
+    if preserved > 0 {
+        println!("bench-snapshot: preserving {preserved} existing entr(ies) not re-measured");
     }
 
     // Wall-clock is the point here: the snapshot records when the numbers
