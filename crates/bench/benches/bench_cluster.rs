@@ -295,12 +295,86 @@ fn bench_snapshot_publish(c: &mut Criterion) {
     group.finish();
 }
 
+/// Filter-and-refine pruning: wall-clock with the lower-bound filter on
+/// vs off, on the hurricane workload (tight ε — spread-out geometry where
+/// the MBR tier bites) and the constant-density scaled scene.
+///
+/// Besides the two wall-clock arms per workload, each workload emits its
+/// measured candidate-reduction ratio as a pseudo-bench line in permille
+/// (`…/candidate_reduction_permille/<workload> median <N>ns/iter`, i.e.
+/// `N` discarded per 1000 candidates — the `ns` suffix is only there so
+/// the snapshot parser ingests the line). The clustering itself is
+/// bit-identical across both arms, so the delta is pure filter economics:
+/// bound evaluations saved minus bound evaluations wasted.
+fn bench_prune(c: &mut Criterion) {
+    let hurricane = {
+        let tracks = HurricaneGenerator::new(HurricaneConfig {
+            tracks: 64,
+            seed: 2007,
+            ..HurricaneConfig::default()
+        })
+        .generate();
+        SegmentDatabase::from_trajectories(
+            &tracks,
+            &PartitionConfig::default(),
+            SegmentDistance::default(),
+        )
+    };
+    let scaled = scaled_database(1000, 5);
+    // The spatial-index workloads measure the filter's overhead when the
+    // grid/R-tree window has already discarded the far field (the filter
+    // roughly pays for itself); the `_scan` workload runs the Linear
+    // full-scan arm, where the bounds are the only thing standing between
+    // every query and an O(n) kernel sweep — that's the headline win.
+    for (db, label, eps, min_lns, index) in [
+        (&hurricane, "hurricane64", 2.0, 3usize, IndexKind::default()),
+        (&scaled, "scaled1000", 7.0, 6, IndexKind::default()),
+        (&hurricane, "hurricane64_scan", 2.0, 3, IndexKind::Linear),
+    ] {
+        let mut group = c.benchmark_group(format!("cluster/prune/{label}"));
+        group.sample_size(10);
+        for (pruning, arm) in [(true, "on"), (false, "off")] {
+            group.bench_with_input(BenchmarkId::from_parameter(arm), &pruning, |b, &pruning| {
+                b.iter(|| {
+                    LineSegmentClustering::new(
+                        db,
+                        ClusterConfig {
+                            pruning,
+                            index,
+                            ..ClusterConfig::new(eps, min_lns)
+                        },
+                    )
+                    .run()
+                })
+            });
+        }
+        group.finish();
+
+        let (_, stats) = LineSegmentClustering::new(
+            db,
+            ClusterConfig {
+                index,
+                ..ClusterConfig::new(eps, min_lns)
+            },
+        )
+        .run_with_stats();
+        let p = stats.prune;
+        let permille = (p.pruned_total() * 1000)
+            .checked_div(p.candidates)
+            .unwrap_or(0);
+        println!(
+            "bench: cluster/prune/candidate_reduction_permille/{label:<15} median {permille}ns/iter"
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_cluster,
     bench_cluster_parallel,
     bench_stream_insert,
     bench_sliding_window,
-    bench_snapshot_publish
+    bench_snapshot_publish,
+    bench_prune
 );
 criterion_main!(benches);

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use traclus_geom::TrajectoryId;
 
 use crate::params::Parallelism;
-use crate::segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
+use crate::segment_db::{IndexKind, NeighborIndex, PruneStats, SegmentDatabase};
 
 /// Identifier of a cluster in a [`Clustering`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,6 +61,11 @@ pub struct ClusterConfig {
     /// Figure 12 loop otherwise. Either way the resulting [`Clustering`]
     /// is identical.
     pub parallelism: Parallelism,
+    /// Filter-and-refine pruning of ε-neighborhood candidates through the
+    /// admissible lower bounds of `traclus_geom::lower_bound` (default
+    /// on). The clustering is bit-identical either way — this is a
+    /// performance/diagnostics knob, not a semantics switch.
+    pub pruning: bool,
 }
 
 impl ClusterConfig {
@@ -73,6 +78,7 @@ impl ClusterConfig {
             weighted: false,
             index: IndexKind::default(),
             parallelism: Parallelism::default(),
+            pruning: true,
         }
     }
 
@@ -161,6 +167,15 @@ impl Clustering {
     }
 }
 
+/// Observability counters of one clustering run — everything the run did
+/// that a [`Clustering`] (which is compared for equivalence and must stay
+/// independent of the execution strategy) cannot carry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Filter-and-refine tallies of the ε-neighborhood queries.
+    pub prune: PruneStats,
+}
+
 /// The Figure 12 algorithm, generic over dimension.
 pub struct LineSegmentClustering<'db, const D: usize> {
     db: &'db SegmentDatabase<D>,
@@ -205,8 +220,16 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
     /// assert_eq!(clustering.noise(), vec![5], "the outlier is noise");
     /// ```
     pub fn run(&self) -> Clustering {
+        self.run_with_stats().0
+    }
+
+    /// [`Self::run`] plus the run's [`ClusterStats`] (filter-and-refine
+    /// prune counters). The stats ride outside the [`Clustering`] so
+    /// equivalence comparisons between execution strategies stay exact.
+    pub fn run_with_stats(&self) -> (Clustering, ClusterStats) {
         let n = self.db.len();
-        let index = self.db.build_index(self.config.index, self.config.eps);
+        let mut index = self.db.build_index(self.config.index, self.config.eps);
+        index.set_pruning(self.config.pruning);
         // Raw ids assigned during expansion; filtered/renumbered in step 3.
         let mut raw: Vec<Option<u32>> = vec![None; n];
         let mut visited_noise: Vec<bool> = vec![false; n];
@@ -269,12 +292,16 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
         }
 
         // Step 3 (lines 13–16), shared with the parallel path.
-        finalize_raw(
+        let clustering = finalize_raw(
             self.db,
             &raw,
             cluster_id,
             self.config.trajectory_threshold(),
-        )
+        );
+        let stats = ClusterStats {
+            prune: index.prune_stats(),
+        };
+        (clustering, stats)
     }
 
     /// Runs the grouping phase over `threads` worker threads and returns a
@@ -313,8 +340,16 @@ impl<'db, const D: usize> LineSegmentClustering<'db, D> {
     /// }
     /// ```
     pub fn run_parallel(&self, threads: usize) -> Clustering {
+        self.run_parallel_with_stats(threads).0
+    }
+
+    /// [`Self::run_parallel`] plus the run's [`ClusterStats`]. The prune
+    /// counters aggregate across all shard workers (they share one index),
+    /// and because every worker queries the same candidate universe the
+    /// totals match the sequential run's on the same database.
+    pub fn run_parallel_with_stats(&self, threads: usize) -> (Clustering, ClusterStats) {
         if threads <= 1 || self.db.len() <= 1 {
-            return self.run();
+            return self.run_with_stats();
         }
         crate::shard::run_sharded(self.db, &self.config, threads)
     }

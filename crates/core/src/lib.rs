@@ -55,7 +55,8 @@ use traclus_geom::{SegmentDistance, Trajectory};
 
 pub use anneal::{minimize_1d, AnnealConfig, AnnealOutcome};
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterId, Clustering, LineSegmentClustering, SegmentLabel,
+    Cluster, ClusterConfig, ClusterId, ClusterStats, Clustering, LineSegmentClustering,
+    SegmentLabel,
 };
 pub use params::{
     select_eps_annealing, select_min_lns, EntropyCurve, EntropyPoint, EpsSelection,
@@ -69,7 +70,7 @@ pub use quality::QMeasure;
 pub use representative::{
     average_direction_vector, representative_trajectory, RepresentativeConfig,
 };
-pub use segment_db::{IndexKind, NeighborIndex, SegmentDatabase};
+pub use segment_db::{IndexKind, NeighborIndex, PruneStats, SegmentDatabase};
 pub use shard::ShardPlan;
 pub use simplify::{douglas_peucker, douglas_peucker_matching_count};
 pub use snapshot::{ClusterSnapshot, RegionSummary, SnapshotCell};
@@ -109,6 +110,12 @@ pub struct TraclusConfig {
     /// that trades local repair against a full re-cluster. Ignored by the
     /// batch [`Traclus::run`] path.
     pub stream: StreamConfig,
+    /// Filter-and-refine pruning of ε-neighborhood candidates via the
+    /// admissible lower bounds of [`traclus_geom::lower_bound`]. Purely a
+    /// performance/diagnostics knob: the bounds are exact lower bounds on
+    /// the computed distance, so the clustering is bit-identical with
+    /// pruning on or off. Default `true`.
+    pub pruning: bool,
 }
 
 impl TraclusConfig {
@@ -125,6 +132,7 @@ impl TraclusConfig {
             weighted: self.weighted,
             index: self.index,
             parallelism: self.parallelism,
+            pruning: self.pruning,
         }
     }
 }
@@ -142,6 +150,7 @@ impl Default for TraclusConfig {
             smoothing: None,
             parallelism: Parallelism::default(),
             stream: StreamConfig::default(),
+            pruning: true,
         }
     }
 }

@@ -6,9 +6,19 @@
 //! Lemma 2), and answers Definition 4 neighborhood queries either by full
 //! scan or through a spatial index with the conservative filter radius
 //! derived in `traclus-index`.
+//!
+//! Queries run **filter-and-refine**: before a candidate reaches the
+//! batched distance kernel it passes through the tiered admissible lower
+//! bounds of [`traclus_geom::lower_bound`] (MBR distance, midpoint/length,
+//! exact angle), and candidates whose bound already exceeds ε are
+//! discarded. The bounds never exceed the computed distance, so pruned and
+//! unpruned neighborhoods are bit-identical; [`PruneStats`] counts what
+//! each tier saved.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use traclus_geom::{
-    Aabb, IdentifiedSegment, SegmentDistance, SegmentSoa, Trajectory, TrajectoryId,
+    lower_bound, Aabb, IdentifiedSegment, SegmentDistance, SegmentSoa, Trajectory, TrajectoryId,
 };
 use traclus_index::{filter_radius, GridIndex, RTree, RTreeParams, SpatialIndex};
 
@@ -34,20 +44,146 @@ enum IndexImpl<const D: usize> {
     RTree(RTree<D>),
 }
 
+/// Cumulative filter-and-refine counters of one [`NeighborIndex`] — a
+/// plain-value snapshot of its atomic tallies.
+///
+/// The invariant `candidates == pruned_total() + refined` holds by
+/// construction: every candidate a query considers is either discarded by
+/// exactly one tier or scored exactly once by the batched kernel. All
+/// counters stay zero while pruning is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Candidates the index (or full scan) produced for refinement.
+    pub candidates: u64,
+    /// Candidates discarded by the tier-1 MBR-distance bound.
+    pub pruned_mbr: u64,
+    /// Candidates discarded by the tier-2 midpoint/length bound.
+    pub pruned_midpoint: u64,
+    /// Candidates discarded by the tier-3 exact-angle bound.
+    pub pruned_angle: u64,
+    /// Candidates that survived every tier and were scored exactly.
+    pub refined: u64,
+}
+
+impl PruneStats {
+    /// Candidates discarded across all tiers.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_mbr + self.pruned_midpoint + self.pruned_angle
+    }
+}
+
+/// Shared atomic tallies behind [`PruneStats`]. Queries take `&self` and
+/// run concurrently from the sharded workers, so the counters are atomics;
+/// each query accumulates locally and flushes once (relaxed — the numbers
+/// are observability, not synchronisation).
+#[derive(Debug, Default)]
+struct PruneCounters {
+    candidates: AtomicU64,
+    pruned: [AtomicU64; lower_bound::TIER_COUNT],
+    refined: AtomicU64,
+}
+
+impl PruneCounters {
+    fn snapshot(&self) -> PruneStats {
+        let pruned: Vec<u64> = self
+            .pruned
+            .iter()
+            .map(|p| p.load(Ordering::Relaxed))
+            .collect();
+        PruneStats {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            pruned_mbr: pruned[0],
+            pruned_midpoint: pruned[1],
+            pruned_angle: pruned[2],
+            refined: self.refined.load(Ordering::Relaxed),
+        }
+    }
+
+    fn flush(&self, local: &LocalPruneCounts) {
+        if local.candidates == 0 {
+            return;
+        }
+        self.candidates
+            .fetch_add(local.candidates, Ordering::Relaxed);
+        for (slot, &n) in self.pruned.iter().zip(&local.pruned) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.refined.fetch_add(local.refined, Ordering::Relaxed);
+    }
+}
+
+/// Per-query counter accumulation, flushed to the shared atomics once per
+/// `neighborhood_into` call instead of per candidate.
+#[derive(Default)]
+struct LocalPruneCounts {
+    candidates: u64,
+    pruned: [u64; lower_bound::TIER_COUNT],
+    refined: u64,
+}
+
 /// A built neighborhood index bound to a database snapshot.
 ///
 /// The index answers queries for whatever database state it was built
 /// against; [`Self::insert`] keeps it in sync as segments are appended
 /// (the streaming path in `traclus-core::stream`).
-#[derive(Clone)]
+///
+/// Queries prune candidates through the admissible lower bounds of
+/// [`traclus_geom::lower_bound`] by default — results are bit-identical
+/// either way, so [`Self::set_pruning`] is a performance/diagnostics knob,
+/// not a semantics switch. [`Self::prune_stats`] reports what the filter
+/// did.
 pub struct NeighborIndex<const D: usize> {
     imp: IndexImpl<D>,
     /// Expansion radius per unit ε, `√(4/w⊥² + 1/w∥²)`; `None` forces full
     /// scans (degenerate weights).
     radius_per_eps: Option<f64>,
+    /// Filter-and-refine switch (default on; bit-identical either way).
+    prune: bool,
+    counters: PruneCounters,
+}
+
+impl<const D: usize> Clone for NeighborIndex<D> {
+    /// Clones the index structure and a point-in-time snapshot of the
+    /// prune counters (atomics have no derived `Clone`).
+    fn clone(&self) -> Self {
+        let stats = self.prune_stats();
+        Self {
+            imp: self.imp.clone(),
+            radius_per_eps: self.radius_per_eps,
+            prune: self.prune,
+            counters: PruneCounters {
+                candidates: AtomicU64::new(stats.candidates),
+                pruned: [
+                    AtomicU64::new(stats.pruned_mbr),
+                    AtomicU64::new(stats.pruned_midpoint),
+                    AtomicU64::new(stats.pruned_angle),
+                ],
+                refined: AtomicU64::new(stats.refined),
+            },
+        }
+    }
 }
 
 impl<const D: usize> NeighborIndex<D> {
+    /// Enables or disables the filter-and-refine lower-bound pruning.
+    /// Neighborhoods are bit-identical either way; disabling is useful for
+    /// benchmarking the filter's gain and for equivalence harnesses.
+    pub fn set_pruning(&mut self, on: bool) {
+        self.prune = on;
+    }
+
+    /// Whether lower-bound pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.prune
+    }
+
+    /// A snapshot of the cumulative filter-and-refine counters.
+    pub fn prune_stats(&self) -> PruneStats {
+        self.counters.snapshot()
+    }
+
     /// Registers one freshly appended segment so subsequent queries see it.
     ///
     /// Linear scans need no structure (the database itself is the index);
@@ -343,6 +479,8 @@ impl<const D: usize> SegmentDatabase<D> {
         NeighborIndex {
             imp,
             radius_per_eps,
+            prune: true,
+            counters: PruneCounters::default(),
         }
     }
 
@@ -365,6 +503,14 @@ impl<const D: usize> SegmentDatabase<D> {
     /// `id` (Definition 4). The segment itself is included —
     /// `dist(L, L) = 0 ≤ ε` — matching DBSCAN's core-count convention.
     /// Results are sorted by id for determinism.
+    ///
+    /// When the index has pruning enabled (the default), candidates pass
+    /// through the tiered lower bounds of [`traclus_geom::lower_bound`]
+    /// first and only the survivors reach the batched kernel; because the
+    /// bounds never exceed the computed distance, the output is
+    /// bit-identical with pruning on or off. Candidate order is preserved
+    /// through the filter, so the weighted refinement sums stay in the
+    /// same id-ascending order either way.
     pub fn neighborhood_into(
         &self,
         index: &NeighborIndex<D>,
@@ -373,6 +519,23 @@ impl<const D: usize> SegmentDatabase<D> {
         out: &mut Vec<u32>,
     ) {
         out.clear();
+        // The query-side filter state (weight coefficients, ε thresholds,
+        // cached geometry) is hoisted once; `None` for inadmissible
+        // weights, in which case every candidate refines but is still
+        // tallied so the counter invariants hold.
+        let filter = if index.prune {
+            lower_bound::PruneFilter::new(
+                &self.soa,
+                id,
+                &self.bboxes[id as usize],
+                &self.distance,
+                eps,
+            )
+        } else {
+            None
+        };
+        let prune = index.prune;
+        let mut local = LocalPruneCounts::default();
         match (&index.imp, index.radius_per_eps) {
             (IndexImpl::Linear, _) | (_, None) => {
                 // Full scan: either requested or forced by degenerate
@@ -385,6 +548,9 @@ impl<const D: usize> SegmentDatabase<D> {
                 let mut take = 0usize;
                 for cand in 0..n {
                     if !self.alive[cand as usize] {
+                        continue;
+                    }
+                    if prune && self.prune_candidate(filter.as_ref(), id, cand, eps, &mut local) {
                         continue;
                     }
                     ids[take] = cand;
@@ -406,10 +572,49 @@ impl<const D: usize> SegmentDatabase<D> {
                     IndexImpl::RTree(t) => t.query_sorted_into(&window, &mut candidates),
                     IndexImpl::Linear => unreachable!("handled above"),
                 }
+                if prune {
+                    // `retain` keeps the sorted candidate order.
+                    candidates.retain(|&cand| {
+                        !self.prune_candidate(filter.as_ref(), id, cand, eps, &mut local)
+                    });
+                }
                 let mut dists = [0.0f64; REFINE_CHUNK];
                 for chunk in candidates.chunks(REFINE_CHUNK) {
                     self.refine_chunk(id, chunk, &mut dists[..chunk.len()], eps, out);
                 }
+            }
+        }
+        index.counters.flush(&local);
+    }
+
+    /// The filter step of one candidate: returns `true` (and tallies the
+    /// deciding tier) when an admissible lower bound already exceeds `eps`,
+    /// so the exact kernel never sees the pair. Under `invariant-checks`
+    /// every discard is immediately re-scored exactly and the process
+    /// aborts on the first candidate a bound wrongly excluded.
+    #[inline]
+    fn prune_candidate(
+        &self,
+        filter: Option<&lower_bound::PruneFilter<D>>,
+        query: u32,
+        cand: u32,
+        eps: f64,
+        local: &mut LocalPruneCounts,
+    ) -> bool {
+        local.candidates += 1;
+        let tier = filter.and_then(|f| f.check(&self.soa, cand, &self.bboxes[cand as usize]));
+        #[cfg(not(feature = "invariant-checks"))]
+        let _ = (query, eps);
+        match tier {
+            Some(t) => {
+                #[cfg(feature = "invariant-checks")]
+                crate::invariants::assert_pruned_pair_outside_eps(self, query, cand, eps, t);
+                local.pruned[t] += 1;
+                true
+            }
+            None => {
+                local.refined += 1;
+                false
             }
         }
     }

@@ -30,7 +30,7 @@
 
 use traclus_index::TileGrid;
 
-use crate::cluster::{finalize_raw, ClusterConfig, Clustering};
+use crate::cluster::{finalize_raw, ClusterConfig, ClusterStats, Clustering};
 use crate::segment_db::{NeighborIndex, SegmentDatabase};
 
 /// Tiles allocated per worker shard: oversampling lets the packing step
@@ -147,9 +147,10 @@ pub(crate) fn run_sharded<const D: usize>(
     db: &SegmentDatabase<D>,
     config: &ClusterConfig,
     threads: usize,
-) -> Clustering {
+) -> (Clustering, ClusterStats) {
     let plan = ShardPlan::new(db, threads);
-    let index = db.build_index(config.index, config.eps);
+    let mut index = db.build_index(config.index, config.eps);
+    index.set_pruning(config.pruning);
     let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..plan.shard_count())
             .map(|s| {
@@ -163,7 +164,11 @@ pub(crate) fn run_sharded<const D: usize>(
             .map(|h| h.join().expect("shard worker panicked"))
             .collect()
     });
-    merge_shards(db, config, &plan, &outcomes)
+    let clustering = merge_shards(db, config, &plan, &outcomes);
+    let stats = ClusterStats {
+        prune: index.prune_stats(),
+    };
+    (clustering, stats)
 }
 
 /// Phase 1+2 of the split/merge design, executed per worker: evaluate

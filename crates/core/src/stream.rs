@@ -83,7 +83,7 @@ use traclus_geom::Trajectory;
 
 use crate::cluster::{finalize_raw, ClusterConfig, Clustering};
 use crate::partition::partition_trajectory_from;
-use crate::segment_db::{NeighborIndex, SegmentDatabase};
+use crate::segment_db::{NeighborIndex, PruneStats, SegmentDatabase};
 use crate::shard::UnionFind;
 use crate::{TraclusConfig, TraclusOutcome};
 
@@ -186,6 +186,30 @@ pub struct StreamStats {
     pub decremental_repairs: usize,
     /// Removal operations resolved by the full re-cluster fallback.
     pub decremental_rebuilds: usize,
+    /// ε-neighborhood candidates examined by the filter-and-refine path
+    /// (pruned + refined; 0 while pruning is disabled).
+    pub prune_candidates: u64,
+    /// Candidates discarded by the MBR min-distance lower bound (tier 1).
+    pub pruned_mbr: u64,
+    /// Candidates discarded by the midpoint/length lower bound (tier 2).
+    pub pruned_midpoint: u64,
+    /// Candidates discarded by the exact-angle lower bound (tier 3).
+    pub pruned_angle: u64,
+    /// Candidates that survived every lower bound and were scored exactly.
+    pub prune_refined: u64,
+}
+
+impl StreamStats {
+    /// Folds one index's filter-and-refine tallies into the lifetime
+    /// counters — called when an index is retired (full rebuild) and when
+    /// reporting stats from the live index.
+    pub(crate) fn absorb_prune(&mut self, p: PruneStats) {
+        self.prune_candidates += p.candidates;
+        self.pruned_mbr += p.pruned_mbr;
+        self.pruned_midpoint += p.pruned_midpoint;
+        self.pruned_angle += p.pruned_angle;
+        self.prune_refined += p.refined;
+    }
 }
 
 /// The online TRACLUS engine: accepts one trajectory at a time and keeps
@@ -291,7 +315,8 @@ impl<const D: usize> IncrementalClustering<D> {
         assert!(config.min_lns >= 1, "MinLns must be ≥ 1");
         let cluster = config.cluster_config();
         let db = SegmentDatabase::from_segments(Vec::new(), config.distance);
-        let index = db.build_index(cluster.index, cluster.eps);
+        let mut index = db.build_index(cluster.index, cluster.eps);
+        index.set_pruning(cluster.pruning);
         Self {
             config,
             cluster,
@@ -362,9 +387,13 @@ impl<const D: usize> IncrementalClustering<D> {
     }
 
     /// Lifetime counters (trajectories, segments, flips, rebuilds,
-    /// removals).
+    /// removals, filter-and-refine prune tallies). Prune counters combine
+    /// the totals folded in by retired indexes (full rebuilds) with the
+    /// live index's running tallies.
     pub fn stats(&self) -> StreamStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.absorb_prune(self.index.prune_stats());
+        stats
     }
 
     /// Ingests one trajectory at the next logical-clock tick: partitions
@@ -992,7 +1021,11 @@ impl<const D: usize> IncrementalClustering<D> {
     /// members.)
     fn rebuild(&mut self) {
         let n = self.db.len() as u32;
+        // The outgoing index carries prune tallies the lifetime stats must
+        // keep; fold them in before the replacement drops it.
+        self.stats.absorb_prune(self.index.prune_stats());
         self.index = self.db.build_index(self.cluster.index, self.cluster.eps);
+        self.index.set_pruning(self.cluster.pruning);
         self.dsu = UnionFind::new(n);
         for id in 0..n {
             if !self.db.is_live(id) {

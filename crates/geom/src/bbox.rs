@@ -127,6 +127,12 @@ impl<const D: usize> Aabb<D> {
     /// overlap). Lower-bounds the distance between any contained geometry,
     /// which is what makes the index filter conservative.
     pub fn min_distance(&self, other: &Self) -> f64 {
+        self.min_distance_squared(other).sqrt()
+    }
+
+    /// Squared [`min_distance`](Self::min_distance) — the filter-and-refine
+    /// hot path compares against a squared threshold to skip the sqrt.
+    pub fn min_distance_squared(&self, other: &Self) -> f64 {
         let mut acc = 0.0;
         for k in 0..D {
             let gap = (other.min[k] - self.max[k])
@@ -134,7 +140,7 @@ impl<const D: usize> Aabb<D> {
                 .max(0.0);
             acc += gap * gap;
         }
-        acc.sqrt()
+        acc
     }
 
     /// The centre of the box.

@@ -479,6 +479,11 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
                             "decremental_rebuilds",
                             JsonValue::from(stats.decremental_rebuilds),
                         ),
+                        ("prune_candidates", u64_json(stats.prune_candidates)),
+                        ("pruned_mbr", u64_json(stats.pruned_mbr)),
+                        ("pruned_midpoint", u64_json(stats.pruned_midpoint)),
+                        ("pruned_angle", u64_json(stats.pruned_angle)),
+                        ("prune_refined", u64_json(stats.prune_refined)),
                     ],
                 ),
                 false,
@@ -499,6 +504,12 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
         },
         Ok(Request::Shutdown) => (JsonValue::object([("ok", JsonValue::from(true))]), true),
     }
+}
+
+/// `u64` counters (the stream's prune tallies) saturate into the JSON
+/// integer space, like epochs in the `flush` reply.
+fn u64_json(v: u64) -> JsonValue {
+    JsonValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
 }
 
 fn error_reply(msg: &str) -> JsonValue {
