@@ -6,11 +6,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use traclus_bench::experiments::scaling::scaled_database;
 use traclus_core::{
-    ClusterConfig, IncrementalClustering, IndexKind, LineSegmentClustering, PartitionConfig,
-    SegmentDatabase, SnapshotCell, StreamConfig, Traclus, TraclusConfig,
+    ClusterConfig, IncrementalClustering, IndexKind, LineSegmentClustering, Parallelism,
+    PartitionConfig, SegmentDatabase, ShardPlan, SnapshotCell, StreamConfig, Traclus,
+    TraclusConfig,
 };
 use traclus_data::{HurricaneConfig, HurricaneGenerator};
-use traclus_geom::{SegmentDistance, Trajectory, TrajectoryId};
+use traclus_geom::{Aabb, SegmentDistance, Trajectory, TrajectoryId};
+use traclus_index::{RTree, RTreeParams};
 
 fn bench_cluster(c: &mut Criterion) {
     for (kind, label) in [
@@ -368,10 +370,138 @@ fn bench_prune(c: &mut Criterion) {
     }
 }
 
+/// Parallel STR bulk load across thread counts (t = 1 is the sequential
+/// sort/tile/pack recursion; larger t sort and pack on scoped workers).
+/// The resulting tree is byte-identical at every t, so this is pure
+/// wall-clock for the index (re)build — the term every full rebuild and
+/// every sharded run pays before any clustering starts.
+fn bench_bulk_load(c: &mut Criterion) {
+    let tracks = HurricaneGenerator::new(HurricaneConfig {
+        tracks: 64,
+        seed: 2007,
+        ..HurricaneConfig::default()
+    })
+    .generate();
+    let db = SegmentDatabase::from_trajectories(
+        &tracks,
+        &PartitionConfig::default(),
+        SegmentDistance::default(),
+    );
+    let entries: Vec<(u32, Aabb<2>)> = (0..db.len() as u32)
+        .map(|id| (id, *db.bbox_of(id)))
+        .collect();
+    let mut group = c.benchmark_group("bulk_load/hurricane64");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    RTree::bulk_load_parallel(RTreeParams::default(), entries.clone(), threads)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Work-aware shard packing on a density-skewed scene: half the segments
+/// pile into a few dense corridors (each ε-query there touches many
+/// candidates), the rest spread thin. Count-balanced packing would hand
+/// the dense half to one straggling worker; the work-aware plan splits by
+/// estimated query cost. The `plan` arm prices the planner itself; the
+/// `t*` arms are end-to-end sharded runs on the skewed scene.
+fn bench_shard_balance(c: &mut Criterion) {
+    let mut trajectories: Vec<Trajectory<2>> = Vec::new();
+    let mut id = 0u32;
+    // Dense band: 48 corridors stacked within a couple of tiles.
+    for i in 0..48 {
+        trajectories.push(Trajectory::new(
+            TrajectoryId(id),
+            (0..20)
+                .map(|k| traclus_geom::Point2::xy(k as f64 * 2.0, i as f64 * 0.05))
+                .collect(),
+        ));
+        id += 1;
+    }
+    // Sparse field: 48 corridors fanned far apart.
+    for i in 0..48 {
+        trajectories.push(Trajectory::new(
+            TrajectoryId(id),
+            (0..20)
+                .map(|k| traclus_geom::Point2::xy(k as f64 * 2.0, 50.0 + i as f64 * 9.0))
+                .collect(),
+        ));
+        id += 1;
+    }
+    let db = SegmentDatabase::from_trajectories(
+        &trajectories,
+        &PartitionConfig::default(),
+        SegmentDistance::default(),
+    );
+    let config = ClusterConfig::new(2.0, 4);
+    let mut group = c.benchmark_group("shard_balance/skewed");
+    group.sample_size(10);
+    group.bench_function("plan", |b| b.iter(|| ShardPlan::new(&db, 4, config.eps)));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("t", threads), &threads, |b, &threads| {
+            b.iter(|| LineSegmentClustering::new(&db, config).run_parallel(threads))
+        });
+    }
+    group.finish();
+}
+
+/// Parallel repair re-expansion in the streaming engine: the hurricane
+/// stream ingested with `rebuild_threshold = 0` (every insertion takes
+/// the full re-cluster path, whose ε-query sweep is the heaviest repair
+/// loop) under Sequential vs Threads(4) parallelism. Snapshots are
+/// bit-identical across arms; the delta is the Amdahl term the parallel
+/// repair removes.
+fn bench_stream_repair_par(c: &mut Criterion) {
+    let dataset = HurricaneGenerator::new(HurricaneConfig {
+        tracks: 64,
+        seed: 2007,
+        ..HurricaneConfig::default()
+    })
+    .generate();
+    let mut group = c.benchmark_group("stream_repair_par/hurricane64");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let config = TraclusConfig {
+            eps: 5.0,
+            min_lns: 5,
+            parallelism: if threads == 1 {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Threads(threads)
+            },
+            stream: StreamConfig {
+                rebuild_threshold: 0.0,
+                ..StreamConfig::default()
+            },
+            ..TraclusConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("t", threads), &dataset, |b, dataset| {
+            b.iter(|| {
+                let mut engine: IncrementalClustering<2> = Traclus::new(config).stream();
+                for tr in dataset {
+                    engine.insert(tr);
+                }
+                engine.snapshot()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cluster,
     bench_cluster_parallel,
+    bench_bulk_load,
+    bench_shard_balance,
+    bench_stream_repair_par,
     bench_stream_insert,
     bench_sliding_window,
     bench_snapshot_publish,

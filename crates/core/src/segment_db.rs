@@ -454,6 +454,22 @@ impl<const D: usize> SegmentDatabase<D> {
     /// point) the grid degrades to a linear scan rather than hashing every
     /// segment into a pathological one-point-per-cell lattice.
     pub fn build_index(&self, kind: IndexKind, typical_eps: f64) -> NeighborIndex<D> {
+        self.build_index_parallel(kind, typical_eps, 1)
+    }
+
+    /// Builds a neighborhood index like [`Self::build_index`], using up to
+    /// `threads` worker threads where the underlying structure supports
+    /// it. Only the R-tree arm parallelises today (STR bulk load — see
+    /// [`RTree::bulk_load_parallel`]); grid and linear builds ignore the
+    /// thread count. The resulting index is **identical** to the
+    /// single-threaded build for any thread count, so query results — and
+    /// therefore clustering output — cannot depend on `threads`.
+    pub fn build_index_parallel(
+        &self,
+        kind: IndexKind,
+        typical_eps: f64,
+        threads: usize,
+    ) -> NeighborIndex<D> {
         let radius_per_eps = filter_radius(1.0, &self.distance.weights);
         let entries = || {
             self.segments
@@ -472,15 +488,30 @@ impl<const D: usize> SegmentDatabase<D> {
                     None => IndexImpl::Linear,
                 }
             }
-            IndexKind::RTree => {
-                IndexImpl::RTree(RTree::bulk_load(RTreeParams::default(), entries()))
-            }
+            IndexKind::RTree => IndexImpl::RTree(RTree::bulk_load_parallel(
+                RTreeParams::default(),
+                entries(),
+                threads,
+            )),
         };
         NeighborIndex {
             imp,
             radius_per_eps,
             prune: true,
             counters: PruneCounters::default(),
+        }
+    }
+
+    /// The spatial radius (in coordinate units) by which an ε-query under
+    /// this database's distance weights expands a segment's bounding box,
+    /// or `None` when the weights are inadmissible and only a full scan
+    /// is correct. Used by the shard planner to estimate per-segment
+    /// candidate-set sizes; see [`traclus_index::filter_radius`].
+    pub fn query_radius(&self, eps: f64) -> Option<f64> {
+        if eps.is_finite() && eps >= 0.0 {
+            filter_radius(eps, &self.distance.weights)
+        } else {
+            None
         }
     }
 

@@ -28,6 +28,7 @@
 //! (trajectory-cardinality filter + dense renumbering). The equivalence is
 //! locked down by `tests/parallel_equivalence.rs` and the property suite.
 
+use traclus_geom::Aabb;
 use traclus_index::TileGrid;
 
 use crate::cluster::{finalize_raw, ClusterConfig, ClusterStats, Clustering};
@@ -40,7 +41,9 @@ const TILE_OVERSAMPLING: usize = 4;
 /// How the database is split for one parallel run: a [`TileGrid`] over the
 /// database bounding box assigns every segment to the tile containing its
 /// MBR midpoint; tiles are packed, in row-major order, into `shards`
-/// groups of roughly equal segment count.
+/// groups of roughly equal estimated *work* (segment count × estimated
+/// ε-candidate count), so dense regions — whose queries touch many more
+/// candidates — no longer straggle behind sparse ones.
 #[derive(Debug, Clone)]
 pub struct ShardPlan<const D: usize> {
     grid: TileGrid<D>,
@@ -52,12 +55,20 @@ pub struct ShardPlan<const D: usize> {
     local_index: Vec<u32>,
     /// Member segment ids per shard, ascending.
     shards: Vec<Vec<u32>>,
+    /// Whether the tile assignment collapsed into one shard and the plan
+    /// fell back to a contiguous split by segment id.
+    degenerate_fallback: bool,
 }
 
 impl<const D: usize> ShardPlan<D> {
     /// Plans `shards` shards over the database (at least 1; empty shards
-    /// are possible when segments cluster into few tiles).
-    pub fn new(db: &SegmentDatabase<D>, shards: usize) -> Self {
+    /// are possible when segments cluster into few tiles). `eps` is the
+    /// clustering ε the workers will query with — it sizes the candidate
+    /// windows behind the per-tile work estimates. The plan only decides
+    /// *where segments are evaluated*; clustering output is identical for
+    /// every plan (see the module docs), so a poor estimate can cost
+    /// speed, never correctness.
+    pub fn new(db: &SegmentDatabase<D>, shards: usize, eps: f64) -> Self {
         let shards = shards.max(1);
         let n = db.len();
         let grid = TileGrid::cover(&db.bounding_box(), shards * TILE_OVERSAMPLING);
@@ -70,21 +81,48 @@ impl<const D: usize> ShardPlan<D> {
             per_tile[t] += 1;
         }
         // Pack tiles into shards: walking tiles in row-major order, a tile
-        // goes to the shard its cumulative midpoint falls in — monotone, so
-        // every shard is a contiguous run of tiles (compact borders), and
-        // segment counts stay near-balanced.
+        // goes to the shard its cumulative work midpoint falls in —
+        // monotone, so every shard is a contiguous run of tiles (compact
+        // borders), and estimated work stays near-balanced.
+        let work = tile_work_estimates(&grid, &per_tile, db.query_radius(eps));
+        let total: f64 = work.iter().sum();
         let mut tile_shard = vec![0u32; tile_count];
-        let mut cum = 0usize;
-        for (t, &cnt) in per_tile.iter().enumerate() {
-            let mid = cum + cnt / 2;
-            tile_shard[t] = (((mid * shards) / n.max(1)) as u32).min(shards as u32 - 1);
-            cum += cnt;
+        let mut cum = 0.0f64;
+        for (t, &w) in work.iter().enumerate() {
+            let mid = cum + w / 2.0;
+            let slot = if total > 0.0 {
+                ((mid / total) * shards as f64) as usize
+            } else {
+                0
+            };
+            tile_shard[t] = (slot as u32).min(shards as u32 - 1);
+            cum += w;
         }
+        // Degenerate-geometry fallback: when every occupied tile lands in
+        // one shard (all midpoints stacked in a single tile — zero-area
+        // bounding box), the "parallel" run would leave `shards − 1`
+        // workers idle. Split by segment id instead: contiguous,
+        // deterministic, and merge-safe (the merge pass classifies every
+        // edge exactly regardless of which shard evaluated it).
+        let occupied_shards = {
+            let mut seen = vec![false; shards];
+            for (t, &cnt) in per_tile.iter().enumerate() {
+                if cnt > 0 {
+                    seen[tile_shard[t] as usize] = true;
+                }
+            }
+            seen.iter().filter(|&&s| s).count()
+        };
+        let degenerate_fallback = shards > 1 && n >= 2 && occupied_shards <= 1;
         let mut shard_of = Vec::with_capacity(n);
         let mut local_index = Vec::with_capacity(n);
         let mut members: Vec<Vec<u32>> = vec![Vec::new(); shards];
         for id in 0..n as u32 {
-            let s = tile_shard[tile_of[id as usize] as usize];
+            let s = if degenerate_fallback {
+                ((id as usize * shards) / n).min(shards - 1) as u32
+            } else {
+                tile_shard[tile_of[id as usize] as usize]
+            };
             shard_of.push(s);
             local_index.push(members[s as usize].len() as u32);
             members[s as usize].push(id);
@@ -95,7 +133,15 @@ impl<const D: usize> ShardPlan<D> {
             shard_of,
             local_index,
             shards: members,
+            degenerate_fallback,
         }
+    }
+
+    /// Whether the planner abandoned the tile assignment for a contiguous
+    /// split by segment id because the geometry collapsed every segment
+    /// into a single shard.
+    pub fn used_degenerate_fallback(&self) -> bool {
+        self.degenerate_fallback
     }
 
     /// Number of shards (including empty ones).
@@ -124,6 +170,119 @@ impl<const D: usize> ShardPlan<D> {
     }
 }
 
+/// Per-tile work estimates for the packing step: a tile's segment count
+/// times the estimated candidate count of an ε-query anchored in it. The
+/// candidate estimate sums the density of every tile overlapped by the
+/// tile's box expanded by the spatial filter radius, weighted by the
+/// fraction of that tile the window covers — exactly the geometry an
+/// index-backed ε-query sees. With `radius: None` (inadmissible distance
+/// weights: every query scans the whole database) the candidate count is
+/// uniform, so work degrades gracefully to plain segment counts.
+fn tile_work_estimates<const D: usize>(
+    grid: &TileGrid<D>,
+    per_tile: &[usize],
+    radius: Option<f64>,
+) -> Vec<f64> {
+    let radius = match radius {
+        Some(r) if r.is_finite() && r >= 0.0 => r,
+        _ => return per_tile.iter().map(|&c| c as f64).collect(),
+    };
+    let mut work = Vec::with_capacity(per_tile.len());
+    for (t, &cnt) in per_tile.iter().enumerate() {
+        if cnt == 0 {
+            work.push(0.0);
+            continue;
+        }
+        let window = grid.tile_bbox(t).expanded(radius);
+        let mut candidates = 0.0f64;
+        if let Some((lo, hi)) = grid.tile_range(&window) {
+            // Odometer walk over the overlapped coordinate block.
+            let mut c = lo;
+            loop {
+                let u = grid.flat_index(c);
+                if per_tile[u] > 0 {
+                    candidates +=
+                        per_tile[u] as f64 * covered_fraction(&window, &grid.tile_bbox(u));
+                }
+                let mut advanced = false;
+                let mut k = D;
+                while k > 0 {
+                    k -= 1;
+                    if c[k] < hi[k] {
+                        c[k] += 1;
+                        advanced = true;
+                        break;
+                    }
+                    c[k] = lo[k];
+                }
+                if !advanced {
+                    break;
+                }
+            }
+        }
+        // The tile's own density is inside the window, so candidates ≥ cnt
+        // and the estimate never undercuts the old count-based packing.
+        work.push(cnt as f64 * candidates);
+    }
+    work
+}
+
+/// Fraction of `tile`'s box covered by `window`: the per-axis product of
+/// overlap length over tile length. Zero-extent axes count as fully
+/// covered (the window always spans them).
+fn covered_fraction<const D: usize>(window: &Aabb<D>, tile: &Aabb<D>) -> f64 {
+    let mut frac = 1.0;
+    for k in 0..D {
+        let len = tile.max[k] - tile.min[k];
+        if len > 0.0 {
+            let lo = window.min[k].max(tile.min[k]);
+            let hi = window.max[k].min(tile.max[k]);
+            frac *= ((hi - lo) / len).clamp(0.0, 1.0);
+        }
+    }
+    frac
+}
+
+/// Evaluates the ε-neighborhoods of `ids` against the whole database on up
+/// to `threads` scoped worker threads, returning them in `ids` order.
+///
+/// Each query is the exact query the sequential loop would run — a pure
+/// `&self` read of the database and index (the index's prune counters are
+/// atomic, and their relaxed additions commute) — and the results are
+/// stitched back together in spawn order, i.e. in `ids` order. The caller
+/// therefore observes results bit-identical to running the same queries
+/// sequentially, for any thread count.
+pub(crate) fn parallel_neighborhoods<const D: usize>(
+    db: &SegmentDatabase<D>,
+    index: &NeighborIndex<D>,
+    ids: &[u32],
+    eps: f64,
+    threads: usize,
+) -> Vec<Vec<u32>> {
+    let per = ids.len().div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(per)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for &id in chunk {
+                        db.neighborhood_into(index, id, eps, &mut buf);
+                        out.push(buf.clone());
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(ids.len());
+        for h in handles {
+            all.extend(h.join().expect("neighborhood worker panicked"));
+        }
+        all
+    })
+}
+
 /// What one shard worker reports back to the merge pass.
 struct ShardOutcome {
     /// Core flag per shard member (parallel to the plan's member list).
@@ -148,8 +307,8 @@ pub(crate) fn run_sharded<const D: usize>(
     config: &ClusterConfig,
     threads: usize,
 ) -> (Clustering, ClusterStats) {
-    let plan = ShardPlan::new(db, threads);
-    let mut index = db.build_index(config.index, config.eps);
+    let plan = ShardPlan::new(db, threads, config.eps);
+    let mut index = db.build_index_parallel(config.index, config.eps, threads);
     index.set_pruning(config.pruning);
     let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..plan.shard_count())
@@ -460,7 +619,7 @@ mod tests {
             .collect();
         let database = db(&segs);
         for shards in [1, 2, 3, 4, 7] {
-            let plan = ShardPlan::new(&database, shards);
+            let plan = ShardPlan::new(&database, shards, 2.0);
             assert_eq!(plan.shard_count(), shards);
             let mut seen = vec![false; database.len()];
             for s in 0..plan.shard_count() {
@@ -488,7 +647,7 @@ mod tests {
             })
             .collect();
         let database = db(&segs);
-        let plan = ShardPlan::new(&database, 4);
+        let plan = ShardPlan::new(&database, 4, 2.0);
         for s in 0..4 {
             let share = plan.shard_members(s).len();
             assert!(
@@ -501,14 +660,66 @@ mod tests {
     #[test]
     fn degenerate_databases_plan_into_one_tile() {
         let empty = db(&[]);
-        let plan = ShardPlan::new(&empty, 4);
+        let plan = ShardPlan::new(&empty, 4, 2.0);
         assert_eq!(plan.shard_count(), 4);
         assert!((0..4).all(|s| plan.shard_members(s).is_empty()));
-        // All mass on one point: one occupied tile, everything in one shard.
+        assert!(!plan.used_degenerate_fallback(), "nothing to redistribute");
+    }
+
+    #[test]
+    fn single_hot_tile_falls_back_to_contiguous_id_split() {
+        // All mass on one point: one occupied tile. The tile assignment
+        // would park all 6 segments on one worker; the fallback must
+        // redistribute them as contiguous id runs instead.
         let stacked = db(&[Segment2::xy(1.0, 1.0, 1.0, 1.0); 6]);
-        let plan = ShardPlan::new(&stacked, 3);
-        let total: usize = (0..3).map(|s| plan.shard_members(s).len()).sum();
-        assert_eq!(total, 6);
+        let plan = ShardPlan::new(&stacked, 3, 2.0);
         assert_eq!(plan.tile_grid().tile_count(), 1);
+        assert!(plan.used_degenerate_fallback());
+        for s in 0..3 {
+            assert_eq!(
+                plan.shard_members(s),
+                &[2 * s as u32, 2 * s as u32 + 1],
+                "shard {s} gets its contiguous id pair"
+            );
+        }
+        // A single-shard plan has nothing to redistribute, degenerate or not.
+        let plan = ShardPlan::new(&stacked, 1, 2.0);
+        assert!(!plan.used_degenerate_fallback());
+        assert_eq!(plan.shard_members(0).len(), 6);
+    }
+
+    #[test]
+    fn work_aware_packing_relieves_dense_tiles() {
+        // Four dense tiles (30 tightly-stacked segments each, so every
+        // ε-query there touches ~30 candidates) followed by four sparse
+        // tiles (10 spread segments each, ~10 candidates). Count-balanced
+        // packing puts the 2-shard boundary at segment 80, handing three
+        // dense tiles — 90 segments and ~2700 candidate evaluations — to
+        // worker 0 while worker 1 idles on ~700. Work-aware packing must
+        // cut earlier than the count midpoint.
+        let mut segs = Vec::new();
+        for t in 0..4 {
+            for i in 0..30 {
+                let x = 12.5 + 25.0 * t as f64 + (i % 6) as f64 * 0.1;
+                let y = (i / 6) as f64 * 0.1;
+                segs.push(Segment2::xy(x, y, x + 0.02, y));
+            }
+        }
+        for t in 4..8 {
+            for i in 0..10 {
+                let x = 12.5 + 25.0 * t as f64 + i as f64 * 0.3;
+                segs.push(Segment2::xy(x, 0.0, x + 0.02, 0.0));
+            }
+        }
+        let database = db(&segs);
+        let plan = ShardPlan::new(&database, 2, 0.5);
+        assert!(!plan.used_degenerate_fallback());
+        let dense_shard = plan.shard_of_segment(0);
+        let share = plan.shard_members(dense_shard).len();
+        assert!(
+            share < 90,
+            "dense shard is still count-balanced: {share}/160 members"
+        );
+        assert!(share >= 30, "dense shard vanished: {share}/160 members");
     }
 }

@@ -78,6 +78,19 @@
 //! operation, [`IncrementalClustering::snapshot`] equals the batch run
 //! over the live window (`crates/core/tests/decremental_equivalence.rs`
 //! drives random insert/remove/expiry interleavings against it).
+//!
+//! # Parallel repair
+//!
+//! Every repair and rebuild path above is dominated by ε-queries, and an
+//! ε-query is a pure read of the database and index. When
+//! [`crate::TraclusConfig::parallelism`] allows more than one thread, the
+//! engine fans each large enough batch of queries out over scoped worker
+//! threads (the same machinery as [`crate::shard`]) and applies the
+//! results sequentially in ascending-id order — so the weighted
+//! cardinality sums, union-find merges, and claim lists are bit-identical
+//! to the sequential engine's, and the snapshot guarantee is untouched by
+//! the thread count. [`StreamStats::repair_parallel_batches`] counts how
+//! often the parallel path actually engaged.
 
 use traclus_geom::Trajectory;
 
@@ -112,6 +125,16 @@ pub struct StreamConfig {
     /// most recent insertions; [`IncrementalClustering::insert_at`] lets
     /// the caller supply real (monotone) event times instead. `None`
     /// disables time-based expiry.
+    ///
+    /// Boundary semantics are pinned: a trajectory whose age *equals* the
+    /// window (`clock − timestamp == w`) is expired, so the live window
+    /// holds exactly the timestamps in the half-open interval
+    /// `(clock − w, clock]`, and every trajectory ingested at one
+    /// timestamp ages out atomically in the same expiry batch. (The
+    /// explicit [`IncrementalClustering::expire_older_than`] is the other
+    /// way around: its cutoff is exclusive — a trajectory stamped exactly
+    /// `cutoff` survives. `expire_older_than(clock − w + 1)` reproduces
+    /// the window policy.)
     pub time_window: Option<u64>,
     /// Maximum live trajectories: after each insertion the oldest live
     /// trajectories are expired until at most this many remain. `None`
@@ -186,6 +209,11 @@ pub struct StreamStats {
     pub decremental_repairs: usize,
     /// Removal operations resolved by the full re-cluster fallback.
     pub decremental_rebuilds: usize,
+    /// Repair batches whose ε-queries ran on the parallel workers (batches
+    /// below the parallelism floor run sequentially and are not counted).
+    pub repair_parallel_batches: usize,
+    /// ε-queries executed inside those parallel batches.
+    pub repair_parallel_queries: u64,
     /// ε-neighborhood candidates examined by the filter-and-refine path
     /// (pruned + refined; 0 while pruning is disabled).
     pub prune_candidates: u64,
@@ -306,6 +334,15 @@ struct Arrival {
 /// (weighted databases can have non-core segments with arbitrarily many
 /// core neighbours; unweighted ones are bounded by `MinLns` anyway).
 const CLAIM_DEDUP_LEN: usize = 16;
+
+/// Below this many ε-queries a repair batch runs sequentially: spawning
+/// scoped workers costs more than the queries themselves.
+const MIN_PARALLEL_REPAIR: usize = 32;
+
+/// Repair loops hand ids to the workers in batches of this size, so a
+/// rebuild over a large window never retains more than one batch worth of
+/// neighborhoods at a time (the sequential loops hold exactly one).
+const REPAIR_BATCH: usize = 512;
 
 impl<const D: usize> IncrementalClustering<D> {
     /// An empty engine bound to a pipeline configuration (the `stream`
@@ -472,13 +509,12 @@ impl<const D: usize> IncrementalClustering<D> {
         }
 
         // ε-neighborhoods of every new segment, against the whole database
-        // (new segments included — they are already indexed).
-        let mut hoods: Vec<Vec<u32>> = Vec::with_capacity(new_count);
-        for id in first..n {
-            self.db
-                .neighborhood_into(&self.index, id, self.cluster.eps, &mut self.scratch);
-            hoods.push(self.scratch.clone());
-        }
+        // (new segments included — they are already indexed). Large
+        // arrivals fan the queries out over the worker threads; the repair
+        // below retains every neighborhood anyway, so there is no batching
+        // to do.
+        let new_ids: Vec<u32> = (first..n).collect();
+        let hoods: Vec<Vec<u32>> = self.batch_neighborhoods(&new_ids);
 
         // Update cardinalities: each new segment gets its full neighborhood
         // sum; each pre-existing neighbour gains the new segment's
@@ -670,7 +706,10 @@ impl<const D: usize> IncrementalClustering<D> {
 
     /// Expires every live trajectory whose ingest timestamp is strictly
     /// before `cutoff` — the explicit form of [`StreamConfig::time_window`]
-    /// expiry, for callers driving the window themselves.
+    /// expiry, for callers driving the window themselves. The cutoff is
+    /// exclusive: a trajectory stamped exactly `cutoff` survives (whereas
+    /// the window policy expires a trajectory whose age exactly equals the
+    /// window — see [`StreamConfig::time_window`]).
     pub fn expire_older_than(&mut self, cutoff: u64) -> RemoveReport {
         let kill: Vec<usize> = self
             .arrivals
@@ -779,17 +818,16 @@ impl<const D: usize> IncrementalClustering<D> {
         //    neighbours' claim lists — the snapshot would filter them
         //    anyway, retention just bounds memory.
         let mut dirty: Vec<u32> = Vec::new();
-        for &r in &removed {
-            self.db
-                .neighborhood_into(&self.index, r, self.cluster.eps, &mut self.scratch);
-            let hood = std::mem::take(&mut self.scratch);
-            for &m in &hood {
-                dirty.push(m);
-                if self.core[r as usize] && !self.core[m as usize] {
-                    self.claims[m as usize].retain(|&c| c != r);
+        for batch in removed.chunks(REPAIR_BATCH) {
+            let hoods = self.batch_neighborhoods(batch);
+            for (&r, hood) in batch.iter().zip(&hoods) {
+                for &m in hood {
+                    dirty.push(m);
+                    if self.core[r as usize] && !self.core[m as usize] {
+                        self.claims[m as usize].retain(|&c| c != r);
+                    }
                 }
             }
-            self.scratch = hood;
         }
         dirty.sort_unstable();
         dirty.dedup();
@@ -800,17 +838,18 @@ impl<const D: usize> IncrementalClustering<D> {
         //    only with negative weights) defeats the scoped repair.
         let mut demoted: Vec<u32> = Vec::new();
         let mut promoted = false;
-        for &d in &dirty {
-            self.db
-                .neighborhood_into(&self.index, d, self.cluster.eps, &mut self.scratch);
-            self.counts[d as usize] = self
-                .db
-                .neighborhood_cardinality(&self.scratch, self.cluster.weighted);
-            let is_core_now = self.counts[d as usize] >= self.cluster.min_lns;
-            match (self.core[d as usize], is_core_now) {
-                (true, false) => demoted.push(d),
-                (false, true) => promoted = true,
-                _ => {}
+        for batch in dirty.chunks(REPAIR_BATCH) {
+            let hoods = self.batch_neighborhoods(batch);
+            for (&d, hood) in batch.iter().zip(&hoods) {
+                self.counts[d as usize] = self
+                    .db
+                    .neighborhood_cardinality(hood, self.cluster.weighted);
+                let is_core_now = self.counts[d as usize] >= self.cluster.min_lns;
+                match (self.core[d as usize], is_core_now) {
+                    (true, false) => demoted.push(d),
+                    (false, true) => promoted = true,
+                    _ => {}
+                }
             }
         }
 
@@ -895,27 +934,26 @@ impl<const D: usize> IncrementalClustering<D> {
         for &d in demoted {
             self.core[d as usize] = false;
         }
-        for &d in demoted {
-            self.db
-                .neighborhood_into(&self.index, d, self.cluster.eps, &mut self.scratch);
-            let hood = std::mem::take(&mut self.scratch);
-            // A demoted core becomes a border candidate: its claims are
-            // exactly its surviving core neighbours (its old list is empty
-            // — it was core). Conversely its non-core neighbours may hold
-            // claims on it; scrub those.
-            let mut claims = Vec::new();
-            for &m in &hood {
-                if m == d {
-                    continue;
+        for batch in demoted.chunks(REPAIR_BATCH) {
+            let hoods = self.batch_neighborhoods(batch);
+            for (&d, hood) in batch.iter().zip(&hoods) {
+                // A demoted core becomes a border candidate: its claims are
+                // exactly its surviving core neighbours (its old list is
+                // empty — it was core). Conversely its non-core neighbours
+                // may hold claims on it; scrub those.
+                let mut claims = Vec::new();
+                for &m in hood {
+                    if m == d {
+                        continue;
+                    }
+                    if self.core[m as usize] {
+                        claims.push(m);
+                    } else {
+                        self.claims[m as usize].retain(|&c| c != d);
+                    }
                 }
-                if self.core[m as usize] {
-                    claims.push(m);
-                } else {
-                    self.claims[m as usize].retain(|&c| c != d);
-                }
+                self.claims[d as usize] = claims;
             }
-            self.claims[d as usize] = claims;
-            self.scratch = hood;
         }
 
         // Fresh union-find; transplant the unaffected components. `keep`
@@ -941,12 +979,11 @@ impl<const D: usize> IncrementalClustering<D> {
         // post-removal connectivity (splits fall out naturally), and their
         // claims re-land on bordering non-cores (duplicates are harmless —
         // the snapshot takes a min over live core claims).
-        for &c in affected_cores {
-            self.db
-                .neighborhood_into(&self.index, c, self.cluster.eps, &mut self.scratch);
-            let hood = std::mem::take(&mut self.scratch);
-            self.expand_core(c, &hood);
-            self.scratch = hood;
+        for batch in affected_cores.chunks(REPAIR_BATCH) {
+            let hoods = self.batch_neighborhoods(batch);
+            for (&c, hood) in batch.iter().zip(&hoods) {
+                self.expand_core(c, hood);
+            }
         }
     }
 
@@ -968,12 +1005,11 @@ impl<const D: usize> IncrementalClustering<D> {
         // non-core segments are recorded from the non-core side below.
         let mut fresh: Vec<u32> = flips.to_vec();
         fresh.extend((first..n).filter(|&id| self.core[id as usize]));
-        for &c in flips {
-            self.db
-                .neighborhood_into(&self.index, c, self.cluster.eps, &mut self.scratch);
-            let hood = std::mem::take(&mut self.scratch);
-            self.expand_core(c, &hood);
-            self.scratch = hood;
+        for batch in flips.chunks(REPAIR_BATCH) {
+            let flip_hoods = self.batch_neighborhoods(batch);
+            for (&c, hood) in batch.iter().zip(&flip_hoods) {
+                self.expand_core(c, hood);
+            }
         }
         for (k, hood) in hoods.iter().enumerate() {
             let id = first + k as u32;
@@ -987,6 +1023,28 @@ impl<const D: usize> IncrementalClustering<D> {
                 }
             }
         }
+    }
+
+    /// The ε-neighborhoods of `ids`, in `ids` order: computed on the
+    /// configured worker threads ([`crate::Parallelism`]) when the batch
+    /// clears [`MIN_PARALLEL_REPAIR`], sequentially otherwise. Each query
+    /// is a pure read of the database and index, so the results — and
+    /// everything the caller derives from them in `ids` order — are
+    /// bit-identical either way; parallelism moves work, never output.
+    fn batch_neighborhoods(&mut self, ids: &[u32]) -> Vec<Vec<u32>> {
+        let threads = self.cluster.parallelism.thread_count().min(ids.len());
+        if threads <= 1 || ids.len() < MIN_PARALLEL_REPAIR {
+            let mut out = Vec::with_capacity(ids.len());
+            for &id in ids {
+                self.db
+                    .neighborhood_into(&self.index, id, self.cluster.eps, &mut self.scratch);
+                out.push(self.scratch.clone());
+            }
+            return out;
+        }
+        self.stats.repair_parallel_batches += 1;
+        self.stats.repair_parallel_queries += ids.len() as u64;
+        crate::shard::parallel_neighborhoods(&self.db, &self.index, ids, self.cluster.eps, threads)
     }
 
     /// One freshly core segment's expansion: union with every core
@@ -1024,34 +1082,45 @@ impl<const D: usize> IncrementalClustering<D> {
         // The outgoing index carries prune tallies the lifetime stats must
         // keep; fold them in before the replacement drops it.
         self.stats.absorb_prune(self.index.prune_stats());
-        self.index = self.db.build_index(self.cluster.index, self.cluster.eps);
+        let threads = self.cluster.parallelism.thread_count();
+        self.index = self
+            .db
+            .build_index_parallel(self.cluster.index, self.cluster.eps, threads);
         self.index.set_pruning(self.cluster.pruning);
         self.dsu = UnionFind::new(n);
+        let mut live_ids: Vec<u32> = Vec::with_capacity(self.db.live_len());
         for id in 0..n {
-            if !self.db.is_live(id) {
+            if self.db.is_live(id) {
+                live_ids.push(id);
+            } else {
                 self.counts[id as usize] = 0.0;
                 self.core[id as usize] = false;
                 self.claims[id as usize] = Vec::new();
-                continue;
             }
-            self.db
-                .neighborhood_into(&self.index, id, self.cluster.eps, &mut self.scratch);
-            self.counts[id as usize] = self
-                .db
-                .neighborhood_cardinality(&self.scratch, self.cluster.weighted);
-            let id_core = self.counts[id as usize] >= self.cluster.min_lns;
-            self.core[id as usize] = id_core;
-            self.claims[id as usize] = Vec::new();
-            let hood = std::mem::take(&mut self.scratch);
-            for &b in hood.iter().take_while(|&&b| b < id) {
-                match (id_core, self.core[b as usize]) {
-                    (true, true) => self.dsu.union(id, b),
-                    (true, false) => push_claim(&mut self.claims[b as usize], id),
-                    (false, true) => push_claim(&mut self.claims[id as usize], b),
-                    (false, false) => {}
+        }
+        // Batched so a large window never retains more than one batch of
+        // neighborhoods. Classification stays sequential and strictly
+        // ascending: when the backward edge `(b, id)` is visited, `b < id`
+        // has already been finalised — whether in this batch or an earlier
+        // one — exactly as in the sequential scan.
+        for batch in live_ids.chunks(REPAIR_BATCH) {
+            let hoods = self.batch_neighborhoods(batch);
+            for (&id, hood) in batch.iter().zip(&hoods) {
+                self.counts[id as usize] = self
+                    .db
+                    .neighborhood_cardinality(hood, self.cluster.weighted);
+                let id_core = self.counts[id as usize] >= self.cluster.min_lns;
+                self.core[id as usize] = id_core;
+                self.claims[id as usize] = Vec::new();
+                for &b in hood.iter().take_while(|&&b| b < id) {
+                    match (id_core, self.core[b as usize]) {
+                        (true, true) => self.dsu.union(id, b),
+                        (true, false) => push_claim(&mut self.claims[b as usize], id),
+                        (false, true) => push_claim(&mut self.claims[id as usize], b),
+                        (false, false) => {}
+                    }
                 }
             }
-            self.scratch = hood;
         }
     }
 
@@ -1456,6 +1525,108 @@ mod tests {
             batch_clustering(&cfg, &trajectories[5..])
         );
         assert_eq!(engine.stats().expired, 5);
+    }
+
+    #[test]
+    fn parallel_repair_is_identical_to_sequential() {
+        use crate::Parallelism;
+        // rebuild_threshold 0 forces the full re-cluster on every
+        // operation, so once the window holds ≥ MIN_PARALLEL_REPAIR live
+        // segments every rebuild's query sweep crosses the parallelism
+        // floor and actually engages the workers.
+        let trajectories: Vec<Trajectory<2>> =
+            (0..40).map(|i| corridor(i, i as f64 * 0.2, 12)).collect();
+        let with = |parallelism| TraclusConfig {
+            parallelism,
+            stream: StreamConfig {
+                rebuild_threshold: 0.0,
+                ..StreamConfig::default()
+            },
+            ..config(3.0, 3)
+        };
+        let mut sequential = IncrementalClustering::<2>::new(with(Parallelism::Sequential));
+        let mut reference = Vec::new();
+        for t in &trajectories {
+            sequential.insert(t);
+            reference.push(sequential.snapshot());
+        }
+        sequential.remove_trajectory(TrajectoryId(7));
+        let after_removal = sequential.snapshot();
+        assert_eq!(
+            sequential.stats().repair_parallel_batches,
+            0,
+            "sequential engine must never fan out"
+        );
+        for threads in [2usize, 4, 8] {
+            let mut engine = IncrementalClustering::<2>::new(with(Parallelism::Threads(threads)));
+            for (k, t) in trajectories.iter().enumerate() {
+                engine.insert(t);
+                assert_eq!(
+                    engine.snapshot(),
+                    reference[k],
+                    "t={threads} diverged after trajectory {k}"
+                );
+            }
+            engine.remove_trajectory(TrajectoryId(7));
+            assert_eq!(
+                engine.snapshot(),
+                after_removal,
+                "t={threads} diverged after removal"
+            );
+            let stats = engine.stats();
+            assert!(
+                stats.repair_parallel_batches > 0,
+                "t={threads} never engaged the parallel path"
+            );
+            assert!(stats.repair_parallel_queries >= MIN_PARALLEL_REPAIR as u64);
+        }
+    }
+
+    #[test]
+    fn window_boundary_expires_equal_timestamps_atomically() {
+        // Three tracks share one ingest timestamp under a window of 50:
+        // they must survive at age 49 and all expire together — in one
+        // batch — the moment their age reaches the window.
+        let cfg = TraclusConfig {
+            stream: StreamConfig {
+                time_window: Some(50),
+                ..StreamConfig::default()
+            },
+            ..config(3.0, 2)
+        };
+        let trajectories: Vec<Trajectory<2>> =
+            (0..3).map(|i| corridor(i, i as f64 * 0.4, 18)).collect();
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        for t in &trajectories {
+            engine.insert_at(t, 100);
+        }
+        assert_eq!(engine.live_trajectories(), 3);
+        // Probes far outside ε of the corridor band, so expiry is the only
+        // thing they change. Age 49 < w: everything survives…
+        let report = engine.insert_at(&corridor(90, 500.0, 18), 149);
+        assert_eq!(report.expired_trajectories, 0);
+        assert_eq!(engine.live_trajectories(), 4);
+        // …age exactly w: the whole equal-timestamp batch goes at once.
+        let report = engine.insert_at(&corridor(91, 600.0, 18), 150);
+        assert_eq!(report.expired_trajectories, 3, "boundary is inclusive");
+        assert_eq!(engine.live_trajectories(), 2);
+        // The snapshot still equals the batch run over the survivors.
+        let survivors = vec![corridor(90, 500.0, 18), corridor(91, 600.0, 18)];
+        assert_eq!(engine.snapshot(), batch_clustering(&cfg, &survivors));
+
+        // The explicit helper is exclusive at its cutoff, by contrast: a
+        // trajectory stamped exactly `cutoff` survives.
+        let cfg = config(3.0, 2);
+        let mut engine = IncrementalClustering::<2>::new(cfg);
+        for t in &trajectories {
+            engine.insert_at(t, 100);
+        }
+        assert_eq!(engine.expire_older_than(100), RemoveReport::default());
+        assert_eq!(engine.live_trajectories(), 3);
+        let report = engine.expire_older_than(101);
+        assert_eq!(report.removed_trajectories, 3);
+        assert!(engine.is_empty() || engine.live_trajectories() == 0);
+        assert!(engine.snapshot().clusters.is_empty());
     }
 
     #[test]

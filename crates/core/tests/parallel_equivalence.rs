@@ -267,7 +267,7 @@ fn border_merge_keeps_cross_tile_cluster_whole() {
     for threads in [2, 3, 4, 8] {
         // The fixture must genuinely exercise the merge: its segments span
         // several tiles and at least two shards.
-        let plan = ShardPlan::new(&db, threads);
+        let plan = ShardPlan::new(&db, threads, config.eps);
         let mut tiles: Vec<usize> = (0..db.len() as u32)
             .map(|id| plan.tile_of_segment(id))
             .collect();
@@ -407,4 +407,21 @@ fn degenerate_databases_are_equivalent() {
             .collect(),
     );
     assert_equivalent(&stacked, ClusterConfig::new(0.5, 3), "stacked");
+    // The stacked geometry triggers the contiguous-id fallback — every
+    // worker gets segments instead of one shard hoarding the single hot
+    // tile — and the output stays identical (asserted just above).
+    for t in [2, 4, 8] {
+        let plan = ShardPlan::new(&stacked, t, 0.5);
+        assert!(
+            plan.used_degenerate_fallback(),
+            "stacked plan must fall back at t={t}"
+        );
+        let nonempty = (0..plan.shard_count())
+            .filter(|&s| !plan.shard_members(s).is_empty())
+            .count();
+        assert!(
+            nonempty > 1,
+            "fallback still parks everything on one worker at t={t}"
+        );
+    }
 }

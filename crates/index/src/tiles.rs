@@ -106,6 +106,44 @@ impl<const D: usize> TileGrid<D> {
             .fold(0usize, |idx, (&split, c)| idx * split + c)
     }
 
+    /// Flat (row-major) index of explicit per-axis tile coordinates. Each
+    /// coordinate must be `< splits()[k]`.
+    pub fn flat_index(&self, coords: [usize; D]) -> usize {
+        debug_assert!((0..D).all(|k| coords[k] < self.splits[k]));
+        self.flatten(coords)
+    }
+
+    /// Per-axis tile coordinates of a flat (row-major) tile index — the
+    /// inverse of [`Self::flat_index`].
+    pub fn tile_coords(&self, tile: usize) -> [usize; D] {
+        debug_assert!(tile < self.tile_count());
+        let mut c = [0usize; D];
+        let mut rest = tile;
+        for k in (0..D).rev() {
+            c[k] = rest % self.splits[k];
+            rest /= self.splits[k];
+        }
+        c
+    }
+
+    /// The geometric box of a tile (by flat index). The last tile along
+    /// each axis extends to the covered box's max, so tile boxes tile the
+    /// covered box exactly; zero-extent (unsplit) axes span the full box.
+    pub fn tile_bbox(&self, tile: usize) -> Aabb<D> {
+        let coords = self.tile_coords(tile);
+        let mut min = [0.0f64; D];
+        let mut max = [0.0f64; D];
+        for k in 0..D {
+            min[k] = self.bbox.min[k] + coords[k] as f64 * self.tile_size[k];
+            max[k] = if coords[k] + 1 == self.splits[k] {
+                self.bbox.max[k]
+            } else {
+                self.bbox.min[k] + (coords[k] + 1) as f64 * self.tile_size[k]
+            };
+        }
+        Aabb::new(min, max)
+    }
+
     /// The inclusive per-axis tile-coordinate range overlapped by a box
     /// (clamped to the lattice). `None` for an empty box.
     pub fn tile_range(&self, window: &Aabb<D>) -> Option<([usize; D], [usize; D])> {
@@ -190,6 +228,26 @@ mod tests {
         let crossing = aabb2(first_boundary - 0.1, 0.1, first_boundary + 0.1, 0.1);
         assert!(grid.crosses_boundary(&crossing));
         assert!(!grid.crosses_boundary(&Aabb::empty()));
+    }
+
+    #[test]
+    fn tile_bbox_partitions_the_covered_box() {
+        let outer = aabb2(0.0, 0.0, 100.0, 50.0);
+        let grid = TileGrid::cover(&outer, 8);
+        let mut union = Aabb::empty();
+        for t in 0..grid.tile_count() {
+            assert_eq!(grid.flat_index(grid.tile_coords(t)), t, "roundtrip {t}");
+            let b = grid.tile_bbox(t);
+            assert!(outer.contains(&b), "tile {t} escapes the covered box");
+            // A point strictly inside the tile box maps back to the tile.
+            let mid = Point::new([(b.min[0] + b.max[0]) / 2.0, (b.min[1] + b.max[1]) / 2.0]);
+            assert_eq!(grid.tile_of(&mid), t);
+            union.extend(&b);
+        }
+        assert_eq!(union, outer, "tiles cover exactly");
+        // Degenerate lattice: the single tile spans the whole (point) box.
+        let point = TileGrid::cover(&aabb2(5.0, 5.0, 5.0, 5.0), 16);
+        assert_eq!(point.tile_bbox(0), aabb2(5.0, 5.0, 5.0, 5.0));
     }
 
     #[test]

@@ -61,6 +61,46 @@ proptest! {
     }
 
     #[test]
+    fn parallel_bulk_load_matches_sequential_structurally(
+        boxes in prop::collection::vec(bbox(), 20..120),
+        window in bbox(),
+    ) {
+        // Tile each random box into a 4×4 grid of shifted copies so the
+        // entry count (320..1920) straddles the parallel floor: below it
+        // the sequential fallback is exercised, above it the parallel
+        // sort/tile/pack phases run for real.
+        let mut entries: Vec<(u32, Aabb<2>)> = Vec::new();
+        for (i, b) in boxes.into_iter().enumerate() {
+            for tile in 0..16u32 {
+                let dx = (tile % 4) as f64 * 250.0;
+                let dy = (tile / 4) as f64 * 250.0;
+                let id = (i as u32) * 16 + tile;
+                entries.push((id, Aabb::new(
+                    [b.min[0] + dx, b.min[1] + dy],
+                    [b.max[0] + dx, b.max[1] + dy],
+                )));
+            }
+        }
+        let sequential = RTree::bulk_load(RTreeParams::default(), entries.clone());
+        for threads in [1usize, 2, 4, 8] {
+            let parallel =
+                RTree::bulk_load_parallel(RTreeParams::default(), entries.clone(), threads);
+            parallel.check_invariants();
+            prop_assert_eq!(&parallel, &sequential, "t={} structure", threads);
+            prop_assert_eq!(
+                format!("{:?}", &parallel),
+                format!("{:?}", &sequential),
+                "t={} debug render", threads
+            );
+            prop_assert_eq!(
+                parallel.query(&window),
+                sequential.query(&window),
+                "t={} query order", threads
+            );
+        }
+    }
+
+    #[test]
     fn query_results_are_unique(
         boxes in prop::collection::vec(bbox(), 0..60),
         window in bbox(),

@@ -14,7 +14,7 @@
 //! | `nearest`         | `point: [x,y]`                    | closest cluster + distance to its representative |
 //! | `representatives` | —                                 | every cluster's representative polyline |
 //! | `region`          | `min: [x,y]`, `max: [x,y]` with `min <= max` componentwise | clusters crossing the axis-aligned region |
-//! | `stats`           | —                                 | engine counters (incl. filter-and-refine prune tallies) + snapshot epoch |
+//! | `stats`           | —                                 | engine counters (incl. filter-and-refine prune tallies and parallel-repair batch/query counts) + snapshot epoch |
 //! | `flush`           | —                                 | blocks until every queued ingest is applied and published |
 //! | `shutdown`        | —                                 | acknowledges, then stops the daemon |
 //!

@@ -479,6 +479,14 @@ fn dispatch(line: &str, shared: &Shared) -> (JsonValue, bool) {
                             "decremental_rebuilds",
                             JsonValue::from(stats.decremental_rebuilds),
                         ),
+                        (
+                            "repair_parallel_batches",
+                            JsonValue::from(stats.repair_parallel_batches),
+                        ),
+                        (
+                            "repair_parallel_queries",
+                            u64_json(stats.repair_parallel_queries),
+                        ),
                         ("prune_candidates", u64_json(stats.prune_candidates)),
                         ("pruned_mbr", u64_json(stats.pruned_mbr)),
                         ("pruned_midpoint", u64_json(stats.pruned_midpoint)),

@@ -160,6 +160,18 @@ pub fn merge_results(existing: &[BenchResult], fresh: &[BenchResult]) -> Vec<Ben
     merged
 }
 
+/// [`merge_results`] with stale-row pruning (`--prune`): rows whose label
+/// the fresh run did not measure are dropped instead of preserved, so a
+/// renamed or deleted bench group does not haunt the snapshot forever.
+/// Surviving rows keep their existing order; brand-new labels append in
+/// measurement order, exactly as in the preserving merge.
+pub fn merge_results_pruned(existing: &[BenchResult], fresh: &[BenchResult]) -> Vec<BenchResult> {
+    merge_results(existing, fresh)
+        .into_iter()
+        .filter(|r| fresh.iter().any(|f| f.label == r.label))
+        .collect()
+}
+
 fn escape_json(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -232,6 +244,25 @@ bench: malformed line without the keyword
             vec![old("a", 1.0), old("b", 20.0), old("c", 3.0), old("d", 40.0)],
             "re-measured labels update in place, new labels append, the rest survive"
         );
+    }
+
+    #[test]
+    fn pruned_merge_drops_stale_rows_but_keeps_order() {
+        let old = |label: &str, ns: f64| BenchResult {
+            label: label.to_string(),
+            median_ns: ns,
+        };
+        let existing = vec![old("a", 1.0), old("b", 2.0), old("c", 3.0)];
+        let fresh = vec![old("b", 20.0), old("d", 40.0)];
+        let merged = merge_results_pruned(&existing, &fresh);
+        assert_eq!(
+            merged,
+            vec![old("b", 20.0), old("d", 40.0)],
+            "unmeasured rows a and c are pruned; b updates in place, d appends"
+        );
+        // A full re-measure prunes nothing.
+        let full = vec![old("a", 10.0), old("b", 20.0), old("c", 30.0)];
+        assert_eq!(merge_results_pruned(&existing, &full), full);
     }
 
     #[test]

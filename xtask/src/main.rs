@@ -19,9 +19,12 @@ subcommands:
       --baseline         ratchet baseline file (default: <root>/xtask/lint-baseline.txt)
       --update-baseline  rewrite the baseline to the current violation counts
 
-  bench-snapshot [--out <file>]
+  bench-snapshot [--out <file>] [--prune]
       Run the bench_cluster suite and write the perf snapshot JSON.
       --out              output path (default: <root>/BENCH_cluster.json)
+      --prune            drop snapshot rows the run did not re-measure
+                         (default: preserve them, so partial runs never
+                         clobber the rest of the snapshot)
 ";
 
 fn main() -> ExitCode {
@@ -148,8 +151,14 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
+    for a in args {
+        if a.starts_with("--") && !["--out", "--prune"].contains(&a.as_str()) {
+            return Err(format!("unknown flag {a:?}\n\n{USAGE}"));
+        }
+    }
     let root = workspace_root();
     let out_path = flag_value(args, "--out")?.unwrap_or_else(|| root.join("BENCH_cluster.json"));
+    let prune = args.iter().any(|a| a == "--prune");
 
     println!("bench-snapshot: running `cargo bench -p traclus-bench --bench bench_cluster`…");
     let output = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
@@ -177,13 +186,21 @@ fn cmd_bench_snapshot(args: &[String]) -> Result<ExitCode, String> {
     let existing = std::fs::read_to_string(&out_path)
         .map(|json| bench_snapshot::parse_snapshot_results(&json))
         .unwrap_or_default();
-    let preserved = existing
+    let stale = existing
         .iter()
         .filter(|e| !fresh.iter().any(|f| f.label == e.label))
         .count();
-    let results = bench_snapshot::merge_results(&existing, &fresh);
-    if preserved > 0 {
-        println!("bench-snapshot: preserving {preserved} existing entr(ies) not re-measured");
+    let results = if prune {
+        bench_snapshot::merge_results_pruned(&existing, &fresh)
+    } else {
+        bench_snapshot::merge_results(&existing, &fresh)
+    };
+    if stale > 0 {
+        if prune {
+            println!("bench-snapshot: pruning {stale} stale entr(ies) the run did not re-measure");
+        } else {
+            println!("bench-snapshot: preserving {stale} existing entr(ies) not re-measured");
+        }
     }
 
     // Wall-clock is the point here: the snapshot records when the numbers
